@@ -1,0 +1,66 @@
+//! Figure 12: TCP goodput and RTT over a duty-cycled link as the
+//! (fixed) sleep interval varies — Appendix C's motivating sweep.
+
+use lln_mac::poll::PollMode;
+use lln_node::route::Topology;
+use lln_node::stack::NodeKind;
+use lln_node::world::{World, WorldConfig};
+use lln_sim::{Duration, Instant, Summary};
+use tcplp::TcpConfig;
+
+pub fn run(sleep_ms: u64, downlink: bool, segs: usize) -> (f64, f64) {
+    let topo = Topology::pair(0.999);
+    let mut world = World::new(
+        &topo,
+        &[NodeKind::Router, NodeKind::SleepyLeaf],
+        WorldConfig::default(),
+    );
+    // Fixed interval regardless of expectation: adaptive with
+    // smin == smax pins the interval.
+    world.set_poll_mode(
+        1,
+        PollMode::Adaptive {
+            smin: Duration::from_millis(sleep_ms),
+            smax: Duration::from_millis(sleep_ms),
+        },
+    );
+    world.schedule_poll(1, Instant::from_millis(5));
+    let tcp = TcpConfig::with_window_segments(462, segs);
+    let (src, dst) = if downlink { (0usize, 1usize) } else { (1, 0) };
+    world.add_tcp_listener(dst, tcp.clone());
+    world.set_sink(dst);
+    let si = world.add_tcp_client(src, dst, tcp.clone(), Instant::from_millis(10));
+    world.nodes[src].transport.tcp[si].rtt_trace.enable();
+    world.set_bulk_sender(src, None);
+    world.run_for(Duration::from_secs(120));
+    let goodput = world.nodes[dst].app.sink_goodput_bps();
+    let mut rtt = Summary::new();
+    for &(_, r) in world.nodes[src].transport.tcp[si].rtt_trace.samples() {
+        rtt.add(r.as_secs_f64() * 1e3);
+    }
+    (goodput, rtt.mean())
+}
+
+fn main() {
+    println!("== Figure 12: fixed sleep-interval sweep (single hop) ==\n");
+    println!(
+        "{:<12} {:>12} {:>10} {:>12} {:>10}",
+        "sleep (ms)", "up goodput", "up RTT", "down goodput", "down RTT"
+    );
+    println!("{:-<60}", "");
+    for sleep in [20u64, 50, 100, 200, 500, 1000, 2000] {
+        let (gu, ru) = run(sleep, false, 4);
+        let (gd, rd) = run(sleep, true, 4);
+        println!(
+            "{:<12} {:>9.1} k {:>7.0}ms {:>9.1} k {:>7.0}ms",
+            sleep,
+            gu / 1000.0,
+            ru,
+            gd / 1000.0,
+            rd
+        );
+    }
+    println!("\npaper: at 20 ms throughput matches the always-on link; it falls");
+    println!("sharply as the interval grows (buffers cannot cover interval-sized");
+    println!("RTTs); uplink RTT tracks ~the sleep interval (self-clocking).");
+}

@@ -1,0 +1,59 @@
+//! Figure 7(a): congestion-window trace over a 3-hop path at d = 0.
+//!
+//! The paper's observation: with a 4-segment buffer cwnd is pinned at
+//! the maximum almost all the time despite ~6 % segment loss, because
+//! recovery takes only a couple of RTTs — nothing like the classic
+//! sawtooth.
+
+use lln_mac::MacConfig;
+use lln_node::route::Topology;
+use lln_node::stack::NodeKind;
+use lln_node::world::{World, WorldConfig};
+use lln_sim::{Duration, Instant};
+use tcplp::TcpConfig;
+
+fn main() {
+    let hops = 3;
+    let topo = Topology::chain(hops + 1, 0.999);
+    let kinds = vec![NodeKind::Router; hops + 1];
+    let mut wc = WorldConfig::default();
+    wc.mac = MacConfig {
+        retry_delay_max: Duration::ZERO,
+        ..MacConfig::default()
+    };
+    let mut world = World::new(&topo, &kinds, wc);
+    world.add_tcp_listener(0, TcpConfig::default());
+    world.set_sink(0);
+    let si = world.add_tcp_client(hops, 0, TcpConfig::default(), Instant::from_millis(10));
+    world.nodes[hops].transport.tcp[si].cwnd_trace.enable();
+    world.set_bulk_sender(hops, None);
+    world.run_for(Duration::from_secs(130));
+
+    let sock = &world.nodes[hops].transport.tcp[si];
+    println!("== Figure 7a: cwnd/ssthresh trace, 3 hops, d=0 (t=30s..130s) ==\n");
+    println!("{:<12} {:>8} {:>10}", "t (s)", "cwnd", "ssthresh");
+    println!("{:-<32}", "");
+    let start = Instant::from_secs(30);
+    for &(t, cwnd, ssthresh) in sock.cwnd_trace.points() {
+        if t >= start {
+            let ss = if ssthresh > 100_000 {
+                "inf".to_string()
+            } else {
+                ssthresh.to_string()
+            };
+            println!("{:<12.3} {:>8} {:>10}", t.as_secs_f64(), cwnd, ss);
+        }
+    }
+    let mean = sock
+        .cwnd_trace
+        .mean_cwnd(start, world.now());
+    println!("\ntime-weighted mean cwnd: {mean:.0} B of a 1848 B maximum");
+    println!(
+        "segment retransmission rate: {:.1}%  (timeouts {}, fast rexmits {})",
+        100.0 * sock.stats.segs_retransmitted as f64
+            / (sock.stats.segs_sent - sock.stats.acks_sent).max(1) as f64,
+        sock.stats.rexmit_timeouts,
+        sock.stats.fast_rexmits
+    );
+    println!("paper: cwnd maxed out nearly always; dips recover within ~2 RTTs");
+}

@@ -1,0 +1,35 @@
+//! Figure 8: radio and CPU duty cycle for CoAP / CoCoA / TCPlp with
+//! and without batching, in favorable (night-time) conditions.
+
+use lln_bench::{pct, run_app_study, AppProtocol, AppRun};
+use lln_sim::Duration;
+
+fn main() {
+    println!("== Figure 8: duty cycles, favorable conditions ==\n");
+    println!(
+        "{:<8} {:<12} {:>10} {:>10} {:>12}",
+        "proto", "batching", "radio DC", "CPU DC", "reliability"
+    );
+    println!("{:-<56}", "");
+    for proto in [AppProtocol::Coap, AppProtocol::Cocoa, AppProtocol::Tcplp] {
+        for batch in [None, Some(64)] {
+            let r = run_app_study(&AppRun {
+                protocol: proto,
+                batch,
+                duration: Duration::from_secs(1800),
+                ..AppRun::default()
+            });
+            println!(
+                "{:<8} {:<12} {:>10} {:>10} {:>12}",
+                format!("{proto:?}"),
+                if batch.is_some() { "batch=64" } else { "none" },
+                pct(r.radio_dc),
+                pct(r.cpu_dc),
+                pct(r.reliability)
+            );
+        }
+    }
+    println!("\npaper: all three protocols comparable (~1-2% radio DC batched,");
+    println!("~4-6% unbatched); batching cuts both duty cycles substantially;");
+    println!("reliability 100% for all (end-to-end acknowledgements).");
+}

@@ -1,0 +1,39 @@
+//! Figure 9: behaviour under injected packet loss at the border router
+//! (0-21%): reliability, transport retransmissions, and duty cycles
+//! for TCPlp, CoAP, and CoCoA.
+
+use lln_bench::{run_app_study, AppProtocol, AppRun};
+use lln_sim::Duration;
+
+fn main() {
+    println!("== Figure 9: injected-loss sweep (batching, 4 sensors) ==\n");
+    println!(
+        "{:<8} {:>6} {:>12} {:>14} {:>10} {:>10}",
+        "proto", "loss", "reliability", "rexmit/10min", "radio DC", "CPU DC"
+    );
+    println!("{:-<66}", "");
+    for proto in [AppProtocol::Tcplp, AppProtocol::Coap, AppProtocol::Cocoa] {
+        for loss_pct in [0u32, 3, 6, 9, 12, 15, 18, 21] {
+            let r = run_app_study(&AppRun {
+                protocol: proto,
+                injected_loss: f64::from(loss_pct) / 100.0,
+                duration: Duration::from_secs(1500),
+                ..AppRun::default()
+            });
+            println!(
+                "{:<8} {:>5}% {:>11.1}% {:>14.1} {:>9.2}% {:>9.2}%",
+                format!("{proto:?}"),
+                loss_pct,
+                r.reliability * 100.0,
+                r.retransmissions_per_10min,
+                r.radio_dc * 100.0,
+                r.cpu_dc * 100.0
+            );
+        }
+        println!();
+    }
+    println!("paper: TCP and CoAP hold ~100% reliability to 15% loss; CoCoA");
+    println!("collapses above ~12% (weak-estimator RTO inflation); beyond 15%");
+    println!("CoAP edges TCP (TCP's 12-retry exponential backoff overflows the");
+    println!("app queue); retransmission counts grow with loss for all.");
+}

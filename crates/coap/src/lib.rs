@@ -1,0 +1,30 @@
+//! `lln-coap` — the Constrained Application Protocol (RFC 7252), the
+//! LLN-specialised reliability baseline of the paper's §9.
+//!
+//! The paper compares TCPlp against CoAP with default congestion
+//! control (a fixed 2-3 s retransmission timeout, binary exponential
+//! backoff, give-up after 4 retransmissions) and against CoCoA
+//! (Betzler et al.), which adds RTT estimation with "strong" and
+//! "weak" estimators. §9.4 shows CoCoA's weak estimator — which times
+//! retransmitted exchanges from their *first* transmission — inflates
+//! the RTO under loss and collapses throughput, while TCP's timestamp
+//! option sidesteps the retransmission ambiguity entirely.
+//!
+//! Modules:
+//! - [`msg`]: RFC 7252 message codec (types, codes, options, tokens);
+//! - [`client`]: confirmable/non-confirmable request layer with
+//!   NSTART=1, BEB, the paper's observed give-up-and-reset behaviour,
+//!   and pluggable RTO algorithms;
+//! - [`cocoa`]: the CoCoA RTO estimator (strong/weak, variable backoff);
+//! - [`server`]: the cloud-side responder used by the application
+//!   study (ACKs every CON, echoes tokens).
+
+pub mod client;
+pub mod cocoa;
+pub mod msg;
+pub mod server;
+
+pub use client::{CoapClient, CoapClientConfig, RtoAlgorithm};
+pub use cocoa::Cocoa;
+pub use msg::{CoapCode, CoapMessage, CoapOption, MsgType};
+pub use server::CoapServer;

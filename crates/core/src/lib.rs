@@ -1,0 +1,62 @@
+//! # TCPlp — full-scale TCP for low-power and lossy networks
+//!
+//! This crate is the core contribution of the reproduced paper
+//! ("Performant TCP for Low-Power Wireless Networks", NSDI 2020): a
+//! complete, FreeBSD-style TCP protocol implementation engineered for
+//! the constraints of LLN-class devices, expressed sans-IO so it runs
+//! identically under unit tests, the discrete-event simulator in
+//! `lln-node`, or any other driver.
+//!
+//! Feature set (paper Table 1, TCPlp column): flow control, New Reno
+//! congestion control, RTT estimation, MSS option, TCP timestamps,
+//! out-of-order reassembly, selective ACKs, and delayed ACKs — plus
+//! zero-window probes, challenge ACKs, header prediction, and optional
+//! ECN. Memory behaviour follows §4.3: fixed buffers allocated once,
+//! a zero-copy send path ([`sendbuf::SendBuffer::view`]) and the
+//! in-place reassembly queue ([`recvbuf::RecvBuffer`], Figure 1b).
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use tcplp::{TcpConfig, TcpSocket, TcpState, ListenSocket};
+//! use lln_netip::{Ecn, NodeId};
+//! use lln_sim::Instant;
+//!
+//! let a_addr = NodeId(1).mesh_addr();
+//! let b_addr = NodeId(2).mesh_addr();
+//! let mut client = TcpSocket::new(TcpConfig::default(), a_addr, 49152);
+//! let listener = ListenSocket::new(TcpConfig::default(), b_addr, 80);
+//!
+//! let t0 = Instant::ZERO;
+//! client.connect(b_addr, 80, 1000, t0);
+//! let syn = client.poll_transmit(t0).expect("SYN");
+//! let mut server = listener.on_segment(a_addr, &syn, 2000, t0).expect("accept");
+//! let synack = server.poll_transmit(t0).expect("SYN-ACK");
+//! client.on_segment(&synack, Ecn::NotCapable, t0);
+//! let ack = client.poll_transmit(t0).expect("ACK");
+//! server.on_segment(&ack, Ecn::NotCapable, t0);
+//! assert_eq!(client.state(), TcpState::Established);
+//! assert_eq!(server.state(), TcpState::Established);
+//! ```
+
+pub mod cc;
+pub mod config;
+pub mod recvbuf;
+pub mod rtt;
+pub mod sack;
+pub mod sendbuf;
+pub mod seq;
+pub mod socket;
+pub mod stats;
+pub mod wire;
+
+pub use cc::NewReno;
+pub use config::TcpConfig;
+pub use recvbuf::RecvBuffer;
+pub use rtt::RttEstimator;
+pub use sack::SackScoreboard;
+pub use sendbuf::SendBuffer;
+pub use seq::TcpSeq;
+pub use socket::{reset_for, CloseReason, ListenSocket, TcpSocket, TcpState};
+pub use stats::TcpStats;
+pub use wire::{Flags, SackBlock, Segment, Timestamps};

@@ -1,0 +1,352 @@
+//! The TCPlp receive buffer with **in-place reassembly queue**
+//! (paper §4.3.2, Figure 1b).
+//!
+//! A flat circular buffer holds both in-sequence data (ready for the
+//! application) and out-of-order segments, which are written into the
+//! same buffer at their stream position past the in-sequence region. A
+//! bitmap records which of those bytes hold valid out-of-order data;
+//! when the hole before them fills, they are "absorbed" into the
+//! in-sequence region by just advancing a pointer and clearing bits —
+//! no copying, no separate mbuf-chain reassembly queue, and memory use
+//! is deterministic (fixed at construction), which is the paper's
+//! motivation versus FreeBSD's dynamic mbuf approach.
+//!
+//! Alongside the bitmap we track the out-of-order ranges as stream
+//! offsets, which is exactly what the SACK option needs to advertise.
+
+/// Fixed-capacity circular receive buffer with in-place reassembly.
+#[derive(Clone, Debug)]
+pub struct RecvBuffer {
+    buf: Vec<u8>,
+    /// Bitmap, one bit per buffer byte: set when the byte holds valid
+    /// out-of-order data (relative to buffer positions, not stream).
+    bitmap: Vec<u8>,
+    /// Buffer index of the next in-sequence byte to deliver to the app.
+    head: usize,
+    /// Bytes of contiguous in-sequence data available to the app.
+    avail: usize,
+    /// Out-of-order ranges as (start, end) offsets from the current
+    /// stream head (i.e. offset 0 == first undelivered byte... measured
+    /// from `rcv_nxt`), kept sorted and disjoint. Used for SACK blocks.
+    ranges: Vec<(usize, usize)>,
+}
+
+impl RecvBuffer {
+    /// Creates a buffer of fixed `capacity` bytes.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        RecvBuffer {
+            buf: vec![0; capacity],
+            bitmap: vec![0; capacity.div_ceil(8)],
+            head: 0,
+            avail: 0,
+            ranges: Vec::new(),
+        }
+    }
+
+    /// Total capacity.
+    pub fn capacity(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Bytes ready for the application.
+    pub fn available(&self) -> usize {
+        self.avail
+    }
+
+    /// The receive window to advertise: capacity minus the data the
+    /// application has not yet consumed (Figure 1a's relationship).
+    pub fn window(&self) -> usize {
+        self.capacity() - self.avail
+    }
+
+    /// True when the buffer holds any out-of-order data.
+    pub fn has_out_of_order(&self) -> bool {
+        !self.ranges.is_empty()
+    }
+
+    /// Current out-of-order ranges as offsets from `rcv_nxt`
+    /// (start, end), sorted ascending. The socket converts these to
+    /// SACK blocks.
+    pub fn out_of_order_ranges(&self) -> &[(usize, usize)] {
+        &self.ranges
+    }
+
+    fn bit(&self, idx: usize) -> bool {
+        self.bitmap[idx / 8] & (1 << (idx % 8)) != 0
+    }
+
+    fn set_bit(&mut self, idx: usize, v: bool) {
+        if v {
+            self.bitmap[idx / 8] |= 1 << (idx % 8);
+        } else {
+            self.bitmap[idx / 8] &= !(1 << (idx % 8));
+        }
+    }
+
+    /// Writes segment payload whose first byte is `offset` bytes past
+    /// `rcv_nxt` (offset 0 = in order). Bytes outside the window are
+    /// discarded. Returns the number of *newly in-sequence* bytes made
+    /// available by this write (0 for pure out-of-order arrivals).
+    pub fn write(&mut self, offset: usize, data: &[u8]) -> usize {
+        let cap = self.capacity();
+        // The valid stream span we may hold is [avail, window) for new
+        // data; in-order data lands exactly at `avail` when offset==avail
+        // relative to rcv_nxt==head+... — note: `offset` is relative to
+        // rcv_nxt, and rcv_nxt corresponds to stream position `avail`
+        // from the app's head. Buffer position of stream offset k (from
+        // rcv_nxt) is (head + avail + k) % cap.
+        let window = self.window();
+        let before_avail = self.avail;
+        for (i, &b) in data.iter().enumerate() {
+            let k = offset + i;
+            if k >= window {
+                break; // beyond advertised window: drop
+            }
+            let pos = (self.head + self.avail + k) % cap;
+            // k counts from rcv_nxt; k < 0 impossible (caller trims).
+            self.buf[pos] = b;
+            if k > 0 || offset > 0 {
+                // Provisionally mark; absorbed below if contiguous.
+                self.set_bit(pos, true);
+            } else {
+                self.set_bit(pos, true);
+            }
+        }
+        let wrote = data.len().min(window.saturating_sub(offset));
+        if wrote == 0 {
+            return 0;
+        }
+        self.insert_range(offset, offset + wrote);
+        // Absorb: while the first range starts at 0, extend avail.
+        if let Some(&(start, end)) = self.ranges.first() {
+            if start == 0 {
+                let n = end;
+                for k in 0..n {
+                    let pos = (self.head + self.avail + k) % cap;
+                    self.set_bit(pos, false);
+                }
+                self.avail += n;
+                self.ranges.remove(0);
+                // Shift remaining ranges down by n.
+                for r in &mut self.ranges {
+                    r.0 -= n;
+                    r.1 -= n;
+                }
+            }
+        }
+        self.avail - before_avail
+    }
+
+    fn insert_range(&mut self, start: usize, end: usize) {
+        debug_assert!(start < end);
+        let mut new = (start, end);
+        let mut out: Vec<(usize, usize)> = Vec::with_capacity(self.ranges.len() + 1);
+        for &r in &self.ranges {
+            if r.1 < new.0 {
+                out.push(r);
+            } else if new.1 < r.0 {
+                // insert before r later
+                if new.0 != usize::MAX {
+                    out.push(new);
+                    new = (usize::MAX, usize::MAX);
+                }
+                out.push(r);
+            } else {
+                // overlap/adjacent: merge
+                new = (new.0.min(r.0), new.1.max(r.1));
+            }
+        }
+        if new.0 != usize::MAX {
+            out.push(new);
+        }
+        out.sort_unstable();
+        self.ranges = out;
+    }
+
+    /// Reads up to `out.len()` in-sequence bytes into `out`, consuming
+    /// them. Returns the count read.
+    pub fn read(&mut self, out: &mut [u8]) -> usize {
+        let n = out.len().min(self.avail);
+        let cap = self.capacity();
+        for (i, slot) in out[..n].iter_mut().enumerate() {
+            *slot = self.buf[(self.head + i) % cap];
+        }
+        self.head = (self.head + n) % cap;
+        self.avail -= n;
+        n
+    }
+
+    /// Peeks at in-sequence bytes without consuming.
+    pub fn peek(&self, out: &mut [u8]) -> usize {
+        let n = out.len().min(self.avail);
+        let cap = self.capacity();
+        for (i, slot) in out[..n].iter_mut().enumerate() {
+            *slot = self.buf[(self.head + i) % cap];
+        }
+        n
+    }
+
+    /// Internal consistency check used by tests and property tests:
+    /// bitmap bits must exactly cover the out-of-order ranges.
+    pub fn check_invariants(&self) {
+        let cap = self.capacity();
+        // Ranges sorted, disjoint, within window, non-empty.
+        let mut prev_end = 0usize;
+        for &(s, e) in &self.ranges {
+            assert!(s < e, "empty range");
+            assert!(s > prev_end || (prev_end == 0 && s > 0), "ranges must be disjoint, non-adjacent to head: ({s},{e}) after {prev_end}");
+            assert!(e <= self.window(), "range beyond window");
+            prev_end = e;
+        }
+        // Bitmap matches ranges.
+        for k in 0..self.window() {
+            let pos = (self.head + self.avail + k) % cap;
+            let in_range = self.ranges.iter().any(|&(s, e)| k >= s && k < e);
+            assert_eq!(
+                self.bit(pos),
+                in_range,
+                "bitmap/range mismatch at stream offset {k}"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_order_delivery() {
+        let mut rb = RecvBuffer::new(16);
+        assert_eq!(rb.write(0, b"hello"), 5);
+        assert_eq!(rb.available(), 5);
+        let mut out = [0u8; 5];
+        assert_eq!(rb.read(&mut out), 5);
+        assert_eq!(&out, b"hello");
+        assert_eq!(rb.available(), 0);
+        rb.check_invariants();
+    }
+
+    #[test]
+    fn out_of_order_held_until_hole_fills() {
+        let mut rb = RecvBuffer::new(16);
+        assert_eq!(rb.write(5, b"world"), 0, "ooo data yields nothing yet");
+        assert_eq!(rb.available(), 0);
+        assert!(rb.has_out_of_order());
+        assert_eq!(rb.out_of_order_ranges(), &[(5, 10)]);
+        rb.check_invariants();
+        // Filling the hole releases both pieces at once.
+        assert_eq!(rb.write(0, b"hello"), 10);
+        assert_eq!(rb.available(), 10);
+        assert!(!rb.has_out_of_order());
+        let mut out = [0u8; 10];
+        rb.read(&mut out);
+        assert_eq!(&out, b"helloworld");
+        rb.check_invariants();
+    }
+
+    #[test]
+    fn overlapping_ooo_segments_merge() {
+        let mut rb = RecvBuffer::new(32);
+        rb.write(4, b"defg");
+        rb.write(6, b"fghij");
+        assert_eq!(rb.out_of_order_ranges(), &[(4, 11)]);
+        rb.write(12, b"LM");
+        assert_eq!(rb.out_of_order_ranges(), &[(4, 11), (12, 14)]);
+        rb.check_invariants();
+        rb.write(0, b"abcd"); // releases first range only
+        assert_eq!(rb.available(), 11);
+        assert_eq!(rb.out_of_order_ranges(), &[(1, 3)]);
+        rb.check_invariants();
+    }
+
+    #[test]
+    fn window_shrinks_with_undelivered_data() {
+        let mut rb = RecvBuffer::new(10);
+        rb.write(0, b"abcdef");
+        assert_eq!(rb.window(), 4);
+        let mut out = [0u8; 6];
+        rb.read(&mut out);
+        assert_eq!(rb.window(), 10);
+    }
+
+    #[test]
+    fn writes_beyond_window_are_trimmed() {
+        let mut rb = RecvBuffer::new(8);
+        assert_eq!(rb.write(0, b"0123456789ABC"), 8);
+        assert_eq!(rb.available(), 8);
+        let mut out = [0u8; 8];
+        rb.read(&mut out);
+        assert_eq!(&out, b"01234567");
+        rb.check_invariants();
+    }
+
+    #[test]
+    fn ooo_write_entirely_beyond_window_ignored() {
+        let mut rb = RecvBuffer::new(8);
+        assert_eq!(rb.write(9, b"zz"), 0);
+        assert!(!rb.has_out_of_order());
+        rb.check_invariants();
+    }
+
+    #[test]
+    fn wraparound_reassembly() {
+        let mut rb = RecvBuffer::new(8);
+        rb.write(0, b"abcdef");
+        let mut out = [0u8; 6];
+        rb.read(&mut out); // head now 6
+        // Write 7 bytes with a hole: [2..7) first, then [0..2).
+        rb.write(2, b"CDEFG");
+        assert_eq!(rb.available(), 0);
+        rb.check_invariants();
+        rb.write(0, b"AB");
+        assert_eq!(rb.available(), 7);
+        let mut out = [0u8; 7];
+        rb.read(&mut out);
+        assert_eq!(&out, b"ABCDEFG");
+        rb.check_invariants();
+    }
+
+    #[test]
+    fn duplicate_in_order_data_rewrites_harmlessly() {
+        let mut rb = RecvBuffer::new(16);
+        rb.write(0, b"abc");
+        // Retransmission overlapping delivered region is the socket's
+        // job to trim; here offset 0 now refers to *new* stream data
+        // (post-rcv_nxt), so a fresh write lands after "abc".
+        rb.write(0, b"def");
+        assert_eq!(rb.available(), 6);
+        let mut out = [0u8; 6];
+        rb.read(&mut out);
+        assert_eq!(&out, b"abcdef");
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut rb = RecvBuffer::new(8);
+        rb.write(0, b"xyz");
+        let mut out = [0u8; 3];
+        assert_eq!(rb.peek(&mut out), 3);
+        assert_eq!(&out, b"xyz");
+        assert_eq!(rb.available(), 3);
+    }
+
+    #[test]
+    fn three_separate_holes_tracked_for_sack() {
+        let mut rb = RecvBuffer::new(64);
+        rb.write(10, b"aaaaa");
+        rb.write(20, b"bbbbb");
+        rb.write(30, b"ccccc");
+        assert_eq!(
+            rb.out_of_order_ranges(),
+            &[(10, 15), (20, 25), (30, 35)]
+        );
+        rb.check_invariants();
+        // Fill the first hole; second and third shift down by 15.
+        rb.write(0, &[b'x'; 10]);
+        assert_eq!(rb.available(), 15);
+        assert_eq!(rb.out_of_order_ranges(), &[(5, 10), (15, 20)]);
+        rb.check_invariants();
+    }
+}

@@ -1,0 +1,278 @@
+//! Sender-side SACK scoreboard (RFC 2018, with RFC 6675-style hole
+//! selection, simplified for the small windows of LLN TCP).
+//!
+//! The scoreboard records which ranges beyond `snd_una` the receiver
+//! has reported holding. During loss recovery the sender retransmits
+//! the *holes* — ranges below the highest SACKed byte that have not
+//! been SACKed — before sending new data, which is how TCPlp triggers
+//! "retransmissions ... based on duplicate ACKs and Selective ACKs"
+//! (§9.4) without waiting for timeouts.
+
+use crate::seq::TcpSeq;
+use crate::wire::SackBlock;
+
+/// Sender-side record of SACKed ranges.
+#[derive(Clone, Debug, Default)]
+pub struct SackScoreboard {
+    /// SACKed ranges (start, end), sorted, disjoint, all above snd_una.
+    ranges: Vec<(TcpSeq, TcpSeq)>,
+    /// Retransmission cursor: everything below this (within holes) has
+    /// been retransmitted this recovery episode.
+    rexmit_cursor: Option<TcpSeq>,
+}
+
+impl SackScoreboard {
+    /// Creates an empty scoreboard.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True when no SACK information is held.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// Highest SACKed sequence, if any.
+    pub fn highest_sacked(&self) -> Option<TcpSeq> {
+        self.ranges.last().map(|&(_, e)| e)
+    }
+
+    /// Total SACKed bytes (above snd_una).
+    pub fn sacked_bytes(&self) -> u32 {
+        self.ranges
+            .iter()
+            .map(|&(s, e)| e.distance_from(s))
+            .sum()
+    }
+
+    /// True when `seq..seq+len` is fully covered by SACKed ranges.
+    pub fn is_sacked(&self, seq: TcpSeq, len: u32) -> bool {
+        let end = seq + len;
+        self.ranges
+            .iter()
+            .any(|&(s, e)| s.le(seq) && end.le(e))
+    }
+
+    /// Ingests SACK blocks from an ACK with the given `snd_una`
+    /// (blocks at or below snd_una are stale and ignored) and `snd_max`
+    /// (blocks beyond what we sent are forged and ignored).
+    pub fn update(&mut self, blocks: &[SackBlock], snd_una: TcpSeq, snd_max: TcpSeq) {
+        for b in blocks {
+            if b.start.ge(b.end) {
+                continue; // malformed
+            }
+            if b.end.le(snd_una) || b.end.gt(snd_max) || b.start.lt(snd_una) && b.end.le(snd_una) {
+                continue;
+            }
+            let start = b.start.max(snd_una);
+            let end = b.end;
+            if start.ge(end) {
+                continue;
+            }
+            self.insert(start, end);
+        }
+        self.advance(snd_una);
+    }
+
+    fn insert(&mut self, start: TcpSeq, end: TcpSeq) {
+        let mut new = (start, end);
+        let mut out = Vec::with_capacity(self.ranges.len() + 1);
+        let mut inserted = false;
+        for &r in &self.ranges {
+            if r.1.lt(new.0) {
+                out.push(r);
+            } else if new.1.lt(r.0) {
+                if !inserted {
+                    out.push(new);
+                    inserted = true;
+                }
+                out.push(r);
+            } else {
+                new = (new.0.min(r.0), new.1.max(r.1));
+            }
+        }
+        if !inserted {
+            out.push(new);
+        }
+        self.ranges = out;
+    }
+
+    /// Discards ranges at or below the new `snd_una` (cumulative ACK).
+    pub fn advance(&mut self, snd_una: TcpSeq) {
+        self.ranges.retain_mut(|r| {
+            if r.1.le(snd_una) {
+                false
+            } else {
+                if r.0.lt(snd_una) {
+                    r.0 = snd_una;
+                }
+                true
+            }
+        });
+        if let Some(c) = self.rexmit_cursor {
+            if c.lt(snd_una) {
+                self.rexmit_cursor = Some(snd_una);
+            }
+        }
+    }
+
+    /// Clears everything (connection reset / timeout flushes scoreboard
+    /// per RFC 6582's interaction note — we keep SACK info on RTO as
+    /// FreeBSD does, so this is only for connection teardown).
+    pub fn clear(&mut self) {
+        self.ranges.clear();
+        self.rexmit_cursor = None;
+    }
+
+    /// Begins a recovery episode: the rexmit cursor restarts at snd_una.
+    pub fn start_recovery(&mut self, snd_una: TcpSeq) {
+        self.rexmit_cursor = Some(snd_una);
+    }
+
+    /// Ends the recovery episode.
+    pub fn end_recovery(&mut self) {
+        self.rexmit_cursor = None;
+    }
+
+    /// Next hole to retransmit: the first range of un-SACKed bytes at or
+    /// above the cursor and strictly below the highest SACKed byte.
+    /// Returns `(start, max_len)` and advances the cursor past it.
+    pub fn next_hole(&mut self, snd_una: TcpSeq, mss: u32) -> Option<(TcpSeq, u32)> {
+        let highest = self.highest_sacked()?;
+        let mut cursor = self.rexmit_cursor.unwrap_or(snd_una).max(snd_una);
+        // Skip cursor past any SACKed range containing it.
+        loop {
+            if cursor.ge(highest) {
+                return None;
+            }
+            match self
+                .ranges
+                .iter()
+                .find(|&&(s, e)| s.le(cursor) && cursor.lt(e))
+            {
+                Some(&(_, e)) => cursor = e,
+                None => break,
+            }
+        }
+        // Hole extends to the next SACKed range start (or `highest`).
+        let hole_end = self
+            .ranges
+            .iter()
+            .map(|&(s, _)| s)
+            .filter(|s| s.gt(cursor))
+            .fold(highest, |acc, s| if s.lt(acc) { s } else { acc });
+        let len = hole_end.distance_from(cursor).min(mss);
+        self.rexmit_cursor = Some(cursor + len);
+        Some((cursor, len))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blk(s: u32, e: u32) -> SackBlock {
+        SackBlock {
+            start: TcpSeq(s),
+            end: TcpSeq(e),
+        }
+    }
+
+    #[test]
+    fn update_records_valid_blocks() {
+        let mut sb = SackScoreboard::new();
+        sb.update(&[blk(1000, 1462)], TcpSeq(538), TcpSeq(2000));
+        assert_eq!(sb.highest_sacked(), Some(TcpSeq(1462)));
+        assert_eq!(sb.sacked_bytes(), 462);
+        assert!(sb.is_sacked(TcpSeq(1000), 462));
+        assert!(!sb.is_sacked(TcpSeq(538), 462));
+    }
+
+    #[test]
+    fn forged_blocks_ignored() {
+        let mut sb = SackScoreboard::new();
+        // Beyond snd_max.
+        sb.update(&[blk(5000, 6000)], TcpSeq(0), TcpSeq(2000));
+        assert!(sb.is_empty());
+        // Below snd_una.
+        sb.update(&[blk(0, 100)], TcpSeq(500), TcpSeq(2000));
+        assert!(sb.is_empty());
+        // Malformed (start >= end).
+        sb.update(&[blk(700, 600)], TcpSeq(500), TcpSeq(2000));
+        assert!(sb.is_empty());
+    }
+
+    #[test]
+    fn overlapping_blocks_merge() {
+        let mut sb = SackScoreboard::new();
+        sb.update(&[blk(100, 200), blk(150, 300)], TcpSeq(0), TcpSeq(1000));
+        assert_eq!(sb.sacked_bytes(), 200);
+        sb.update(&[blk(300, 400)], TcpSeq(0), TcpSeq(1000));
+        assert_eq!(sb.sacked_bytes(), 300, "adjacent ranges merge");
+        assert_eq!(sb.highest_sacked(), Some(TcpSeq(400)));
+    }
+
+    #[test]
+    fn advance_trims_acked_ranges() {
+        let mut sb = SackScoreboard::new();
+        sb.update(&[blk(100, 200), blk(300, 400)], TcpSeq(0), TcpSeq(1000));
+        sb.advance(TcpSeq(150));
+        assert_eq!(sb.sacked_bytes(), 150);
+        sb.advance(TcpSeq(400));
+        assert!(sb.is_empty());
+    }
+
+    #[test]
+    fn next_hole_walks_holes_in_order() {
+        let mut sb = SackScoreboard::new();
+        // SACKed: [462,924) and [1386,1848). Holes: [0,462), [924,1386).
+        sb.update(&[blk(462, 924), blk(1386, 1848)], TcpSeq(0), TcpSeq(1848));
+        sb.start_recovery(TcpSeq(0));
+        assert_eq!(sb.next_hole(TcpSeq(0), 462), Some((TcpSeq(0), 462)));
+        assert_eq!(sb.next_hole(TcpSeq(0), 462), Some((TcpSeq(924), 462)));
+        assert_eq!(sb.next_hole(TcpSeq(0), 462), None, "no hole above highest");
+    }
+
+    #[test]
+    fn next_hole_respects_mss_chunking() {
+        let mut sb = SackScoreboard::new();
+        sb.update(&[blk(1000, 1100)], TcpSeq(0), TcpSeq(1848));
+        sb.start_recovery(TcpSeq(0));
+        assert_eq!(sb.next_hole(TcpSeq(0), 400), Some((TcpSeq(0), 400)));
+        assert_eq!(sb.next_hole(TcpSeq(0), 400), Some((TcpSeq(400), 400)));
+        assert_eq!(sb.next_hole(TcpSeq(0), 400), Some((TcpSeq(800), 200)));
+        assert_eq!(sb.next_hole(TcpSeq(0), 400), None);
+    }
+
+    #[test]
+    fn cursor_restarts_per_recovery() {
+        let mut sb = SackScoreboard::new();
+        sb.update(&[blk(462, 924)], TcpSeq(0), TcpSeq(1848));
+        sb.start_recovery(TcpSeq(0));
+        assert!(sb.next_hole(TcpSeq(0), 462).is_some());
+        assert!(sb.next_hole(TcpSeq(0), 462).is_none());
+        sb.end_recovery();
+        sb.start_recovery(TcpSeq(0));
+        assert_eq!(sb.next_hole(TcpSeq(0), 462), Some((TcpSeq(0), 462)));
+    }
+
+    #[test]
+    fn wraparound_sequences() {
+        let mut sb = SackScoreboard::new();
+        let una = TcpSeq(u32::MAX - 100);
+        let smax = una + 2000;
+        sb.update(
+            &[SackBlock {
+                start: una + 500,
+                end: una + 1000,
+            }],
+            una,
+            smax,
+        );
+        assert_eq!(sb.sacked_bytes(), 500);
+        sb.start_recovery(una);
+        let (h, l) = sb.next_hole(una, 1000).unwrap();
+        assert_eq!(h, una);
+        assert_eq!(l, 500);
+    }
+}

@@ -1,0 +1,145 @@
+//! TCP sequence-number arithmetic (RFC 793 §3.3).
+//!
+//! Sequence numbers live on a 2^32 circle; comparisons are modular.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub};
+
+/// A TCP sequence number.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct TcpSeq(pub u32);
+
+impl TcpSeq {
+    /// True when `self` precedes `other` on the sequence circle.
+    pub fn lt(self, other: TcpSeq) -> bool {
+        (other.0.wrapping_sub(self.0) as i32) > 0
+    }
+
+    /// `self <= other` modularly.
+    pub fn le(self, other: TcpSeq) -> bool {
+        self == other || self.lt(other)
+    }
+
+    /// `self > other` modularly.
+    pub fn gt(self, other: TcpSeq) -> bool {
+        other.lt(self)
+    }
+
+    /// `self >= other` modularly.
+    pub fn ge(self, other: TcpSeq) -> bool {
+        self == other || self.gt(other)
+    }
+
+    /// Distance from `earlier` to `self` (wrapping), as a byte count.
+    /// Callers must know `earlier le self`.
+    pub fn distance_from(self, earlier: TcpSeq) -> u32 {
+        self.0.wrapping_sub(earlier.0)
+    }
+
+    /// The larger of two sequence numbers (modularly).
+    pub fn max(self, other: TcpSeq) -> TcpSeq {
+        if self.ge(other) {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The smaller of two sequence numbers (modularly).
+    pub fn min(self, other: TcpSeq) -> TcpSeq {
+        if self.le(other) {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// True when `self` is in the half-open window `[lo, lo+len)`.
+    pub fn in_window(self, lo: TcpSeq, len: u32) -> bool {
+        self.distance_from(lo) < len
+    }
+}
+
+impl Add<u32> for TcpSeq {
+    type Output = TcpSeq;
+    fn add(self, rhs: u32) -> TcpSeq {
+        TcpSeq(self.0.wrapping_add(rhs))
+    }
+}
+
+impl AddAssign<u32> for TcpSeq {
+    fn add_assign(&mut self, rhs: u32) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<u32> for TcpSeq {
+    type Output = TcpSeq;
+    fn sub(self, rhs: u32) -> TcpSeq {
+        TcpSeq(self.0.wrapping_sub(rhs))
+    }
+}
+
+impl fmt::Debug for TcpSeq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "seq:{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_without_wrap() {
+        let a = TcpSeq(100);
+        let b = TcpSeq(200);
+        assert!(a.lt(b));
+        assert!(a.le(b));
+        assert!(b.gt(a));
+        assert!(b.ge(a));
+        assert!(!b.lt(a));
+        assert!(a.le(a) && a.ge(a));
+    }
+
+    #[test]
+    fn ordering_across_wrap() {
+        let a = TcpSeq(u32::MAX - 10);
+        let b = TcpSeq(5);
+        assert!(a.lt(b), "wrap-around must compare correctly");
+        assert_eq!(b.distance_from(a), 16);
+    }
+
+    #[test]
+    fn min_max_modular() {
+        let a = TcpSeq(u32::MAX - 1);
+        let b = TcpSeq(3);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn window_membership() {
+        let lo = TcpSeq(1000);
+        assert!(lo.in_window(lo, 1));
+        assert!((lo + 99).in_window(lo, 100));
+        assert!(!(lo + 100).in_window(lo, 100));
+        assert!(!(lo - 1).in_window(lo, 100));
+    }
+
+    #[test]
+    fn window_membership_across_wrap() {
+        let lo = TcpSeq(u32::MAX - 5);
+        assert!((lo + 8).in_window(lo, 20));
+        assert!(!(lo + 20).in_window(lo, 20));
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let s = TcpSeq(7);
+        assert_eq!((s + 10) - 10, s);
+        let mut t = s;
+        t += 3;
+        assert_eq!(t, TcpSeq(10));
+    }
+}

@@ -1,0 +1,231 @@
+//! `lln-energy` — radio and CPU duty-cycle accounting.
+//!
+//! The paper's application study (§9) reports power consumption as two
+//! duty cycles, measured by instrumenting the radio driver and the OS
+//! scheduler: the **radio duty cycle** is the fraction of time the
+//! radio is not in its low-power sleep state, and the **CPU duty
+//! cycle** is the fraction of time a thread is executing. This crate
+//! reproduces exactly that accounting for simulated nodes, plus a
+//! conversion to average current using AT86RF233/SAMR21 datasheet
+//! numbers for readers who want milliamps.
+
+use lln_sim::{Duration, Instant};
+
+/// Radio power states.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RadioState {
+    /// Deep sleep (register retention only).
+    Sleep,
+    /// Receiver on (listening or receiving).
+    Rx,
+    /// Transmitting.
+    Tx,
+}
+
+/// Datasheet current draws (mA) for power estimates.
+#[derive(Clone, Copy, Debug)]
+pub struct PowerModel {
+    /// Radio sleep current.
+    pub radio_sleep_ma: f64,
+    /// Radio receive/listen current (AT86RF233: ~11.8 mA).
+    pub radio_rx_ma: f64,
+    /// Radio transmit current at the experiment's power (~13.8 mA).
+    pub radio_tx_ma: f64,
+    /// MCU active current (SAMR21 at 48 MHz: ~6.5 mA).
+    pub cpu_active_ma: f64,
+    /// MCU idle/sleep current.
+    pub cpu_idle_ma: f64,
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        PowerModel {
+            radio_sleep_ma: 0.0002,
+            radio_rx_ma: 11.8,
+            radio_tx_ma: 13.8,
+            cpu_active_ma: 6.5,
+            cpu_idle_ma: 0.003,
+        }
+    }
+}
+
+/// Per-node energy meter.
+#[derive(Clone, Debug)]
+pub struct EnergyMeter {
+    state: RadioState,
+    state_since: Instant,
+    sleep_time: Duration,
+    rx_time: Duration,
+    tx_time: Duration,
+    cpu_busy: Duration,
+    started: Instant,
+}
+
+impl EnergyMeter {
+    /// Creates a meter; the radio starts asleep at `now`.
+    pub fn new(now: Instant) -> Self {
+        EnergyMeter {
+            state: RadioState::Sleep,
+            state_since: now,
+            sleep_time: Duration::ZERO,
+            rx_time: Duration::ZERO,
+            tx_time: Duration::ZERO,
+            cpu_busy: Duration::ZERO,
+            started: now,
+        }
+    }
+
+    /// Current radio state.
+    pub fn state(&self) -> RadioState {
+        self.state
+    }
+
+    fn settle(&mut self, now: Instant) {
+        let span = now.saturating_duration_since(self.state_since);
+        match self.state {
+            RadioState::Sleep => self.sleep_time += span,
+            RadioState::Rx => self.rx_time += span,
+            RadioState::Tx => self.tx_time += span,
+        }
+        self.state_since = now;
+    }
+
+    /// Transitions the radio to `state` at `now`.
+    pub fn set_radio_state(&mut self, state: RadioState, now: Instant) {
+        self.settle(now);
+        self.state = state;
+    }
+
+    /// Charges `span` of CPU time (per-event processing cost).
+    pub fn add_cpu(&mut self, span: Duration) {
+        self.cpu_busy += span;
+    }
+
+    /// Total time observed so far, as of `now`.
+    pub fn elapsed(&self, now: Instant) -> Duration {
+        now.saturating_duration_since(self.started)
+    }
+
+    /// Radio duty cycle over `[started, now]`: fraction of time the
+    /// radio was not asleep — the paper's Figures 8-10 metric.
+    pub fn radio_duty_cycle(&mut self, now: Instant) -> f64 {
+        self.settle(now);
+        let total = self.elapsed(now).as_micros() as f64;
+        if total == 0.0 {
+            return 0.0;
+        }
+        (self.rx_time + self.tx_time).as_micros() as f64 / total
+    }
+
+    /// CPU duty cycle over `[started, now]`.
+    pub fn cpu_duty_cycle(&self, now: Instant) -> f64 {
+        let total = self.elapsed(now).as_micros() as f64;
+        if total == 0.0 {
+            return 0.0;
+        }
+        (self.cpu_busy.as_micros() as f64 / total).min(1.0)
+    }
+
+    /// Time spent in each radio state (sleep, rx, tx).
+    pub fn radio_times(&mut self, now: Instant) -> (Duration, Duration, Duration) {
+        self.settle(now);
+        (self.sleep_time, self.rx_time, self.tx_time)
+    }
+
+    /// Average current draw in mA under `model`.
+    pub fn average_current_ma(&mut self, now: Instant, model: &PowerModel) -> f64 {
+        self.settle(now);
+        let total = self.elapsed(now).as_micros() as f64;
+        if total == 0.0 {
+            return 0.0;
+        }
+        let radio = self.sleep_time.as_micros() as f64 * model.radio_sleep_ma
+            + self.rx_time.as_micros() as f64 * model.radio_rx_ma
+            + self.tx_time.as_micros() as f64 * model.radio_tx_ma;
+        let cpu_busy = self.cpu_busy.as_micros() as f64;
+        let cpu = cpu_busy * model.cpu_active_ma + (total - cpu_busy) * model.cpu_idle_ma;
+        (radio + cpu) / total
+    }
+
+    /// Resets the accounting window to start at `now` (for windowed
+    /// reports like Figure 10's hourly duty cycles).
+    pub fn reset_window(&mut self, now: Instant) {
+        self.settle(now);
+        self.sleep_time = Duration::ZERO;
+        self.rx_time = Duration::ZERO;
+        self.tx_time = Duration::ZERO;
+        self.cpu_busy = Duration::ZERO;
+        self.started = now;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_on_radio_is_100_percent() {
+        let mut m = EnergyMeter::new(Instant::ZERO);
+        m.set_radio_state(RadioState::Rx, Instant::ZERO);
+        let dc = m.radio_duty_cycle(Instant::from_secs(10));
+        assert!((dc - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sleeping_radio_is_zero() {
+        let mut m = EnergyMeter::new(Instant::ZERO);
+        assert_eq!(m.radio_duty_cycle(Instant::from_secs(10)), 0.0);
+    }
+
+    #[test]
+    fn mixed_states_accounted_proportionally() {
+        let mut m = EnergyMeter::new(Instant::ZERO);
+        m.set_radio_state(RadioState::Rx, Instant::from_secs(0));
+        m.set_radio_state(RadioState::Tx, Instant::from_secs(1));
+        m.set_radio_state(RadioState::Sleep, Instant::from_secs(2));
+        let (sleep, rx, tx) = m.radio_times(Instant::from_secs(10));
+        assert_eq!(rx, Duration::from_secs(1));
+        assert_eq!(tx, Duration::from_secs(1));
+        assert_eq!(sleep, Duration::from_secs(8));
+        let dc = m.radio_duty_cycle(Instant::from_secs(10));
+        assert!((dc - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cpu_duty_cycle_from_charges() {
+        let mut m = EnergyMeter::new(Instant::ZERO);
+        m.add_cpu(Duration::from_millis(100));
+        let dc = m.cpu_duty_cycle(Instant::from_secs(10));
+        assert!((dc - 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn average_current_between_sleep_and_rx() {
+        let mut m = EnergyMeter::new(Instant::ZERO);
+        m.set_radio_state(RadioState::Rx, Instant::ZERO);
+        m.set_radio_state(RadioState::Sleep, Instant::from_secs(5));
+        let model = PowerModel::default();
+        let ma = m.average_current_ma(Instant::from_secs(10), &model);
+        assert!(ma > 0.5 * model.radio_rx_ma * 0.9 && ma < model.radio_rx_ma);
+    }
+
+    #[test]
+    fn window_reset_restarts_accounting() {
+        let mut m = EnergyMeter::new(Instant::ZERO);
+        m.set_radio_state(RadioState::Rx, Instant::ZERO);
+        m.reset_window(Instant::from_secs(5));
+        m.set_radio_state(RadioState::Sleep, Instant::from_secs(6));
+        // Window [5,10]: 1s rx, 4s sleep -> 20%.
+        let dc = m.radio_duty_cycle(Instant::from_secs(10));
+        assert!((dc - 0.2).abs() < 1e-9, "dc {dc}");
+    }
+
+    #[test]
+    fn duty_cycle_idempotent_queries() {
+        let mut m = EnergyMeter::new(Instant::ZERO);
+        m.set_radio_state(RadioState::Rx, Instant::ZERO);
+        let a = m.radio_duty_cycle(Instant::from_secs(4));
+        let b = m.radio_duty_cycle(Instant::from_secs(4));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,118 @@
+//! Parent-side indirect-message queues.
+//!
+//! A Thread router stores frames destined for its sleepy children and
+//! releases them in response to data-request polls, setting the MAC
+//! frame-pending bit while more remain (§3.2). The paper's §9.5 and
+//! Appendix C improvements are reflected here: indirect messages are
+//! released in order, the pending bit lets a child drain the whole
+//! queue in one wake-up, and the queue is bounded per child so one
+//! congested child cannot exhaust the router's buffers.
+
+use lln_netip::NodeId;
+use std::collections::{HashMap, VecDeque};
+
+/// Bounded per-child indirect queues.
+#[derive(Clone, Debug)]
+pub struct IndirectQueue {
+    per_child: HashMap<NodeId, VecDeque<Vec<u8>>>,
+    capacity_per_child: usize,
+    /// Frames dropped because a child's queue was full.
+    pub drops: u64,
+}
+
+impl IndirectQueue {
+    /// Creates queues bounded at `capacity_per_child` frames each.
+    pub fn new(capacity_per_child: usize) -> Self {
+        IndirectQueue {
+            per_child: HashMap::new(),
+            capacity_per_child,
+            drops: 0,
+        }
+    }
+
+    /// Queues a frame for a sleepy child. Returns false (and counts a
+    /// drop) when the child's queue is full.
+    pub fn enqueue(&mut self, child: NodeId, frame: Vec<u8>) -> bool {
+        let q = self.per_child.entry(child).or_default();
+        if q.len() >= self.capacity_per_child {
+            self.drops += 1;
+            return false;
+        }
+        q.push_back(frame);
+        true
+    }
+
+    /// Answers a data request from `child`: the next queued frame and
+    /// whether more remain (the frame-pending bit for the *data* frame,
+    /// per the Appendix C enhancement that lets one poll drain a burst).
+    pub fn on_data_request(&mut self, child: NodeId) -> Option<(Vec<u8>, bool)> {
+        let q = self.per_child.get_mut(&child)?;
+        let frame = q.pop_front()?;
+        Some((frame, !q.is_empty()))
+    }
+
+    /// Whether any frame is queued for `child` (drives the pending bit
+    /// in the ACK to a data request).
+    pub fn has_pending(&self, child: NodeId) -> bool {
+        self.per_child.get(&child).is_some_and(|q| !q.is_empty())
+    }
+
+    /// Frames queued for `child`.
+    pub fn depth(&self, child: NodeId) -> usize {
+        self.per_child.get(&child).map_or(0, VecDeque::len)
+    }
+
+    /// Total queued frames across children.
+    pub fn total(&self) -> usize {
+        self.per_child.values().map(VecDeque::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_per_child() {
+        let mut q = IndirectQueue::new(4);
+        q.enqueue(NodeId(5), vec![1]);
+        q.enqueue(NodeId(5), vec![2]);
+        let (f, more) = q.on_data_request(NodeId(5)).unwrap();
+        assert_eq!(f, vec![1]);
+        assert!(more);
+        let (f, more) = q.on_data_request(NodeId(5)).unwrap();
+        assert_eq!(f, vec![2]);
+        assert!(!more);
+        assert!(q.on_data_request(NodeId(5)).is_none());
+    }
+
+    #[test]
+    fn children_isolated() {
+        let mut q = IndirectQueue::new(4);
+        q.enqueue(NodeId(1), vec![10]);
+        q.enqueue(NodeId(2), vec![20]);
+        assert_eq!(q.on_data_request(NodeId(2)).unwrap().0, vec![20]);
+        assert!(q.has_pending(NodeId(1)));
+        assert!(!q.has_pending(NodeId(2)));
+    }
+
+    #[test]
+    fn capacity_bounded_with_drop_accounting() {
+        let mut q = IndirectQueue::new(2);
+        assert!(q.enqueue(NodeId(1), vec![1]));
+        assert!(q.enqueue(NodeId(1), vec![2]));
+        assert!(!q.enqueue(NodeId(1), vec![3]));
+        assert_eq!(q.drops, 1);
+        assert_eq!(q.depth(NodeId(1)), 2);
+        // Other children unaffected.
+        assert!(q.enqueue(NodeId(2), vec![9]));
+        assert_eq!(q.total(), 3);
+    }
+
+    #[test]
+    fn poll_with_nothing_queued() {
+        let mut q = IndirectQueue::new(2);
+        assert!(q.on_data_request(NodeId(7)).is_none());
+        assert!(!q.has_pending(NodeId(7)));
+    }
+}

@@ -1,0 +1,140 @@
+//! The Internet checksum (RFC 1071) with the IPv6 pseudo-header
+//! (RFC 8200 §8.1), used by both TCP and UDP.
+
+use crate::addr::Ipv6Addr;
+
+/// Incrementally computes a 16-bit one's-complement sum.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Checksum {
+    sum: u32,
+}
+
+impl Checksum {
+    /// Starts a fresh checksum computation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds `data` into the checksum. Handles odd lengths by padding
+    /// the final byte with zero, per RFC 1071.
+    pub fn add_bytes(&mut self, data: &[u8]) {
+        let mut chunks = data.chunks_exact(2);
+        for c in &mut chunks {
+            self.sum += u32::from(u16::from_be_bytes([c[0], c[1]]));
+        }
+        if let [last] = chunks.remainder() {
+            self.sum += u32::from(u16::from_be_bytes([*last, 0]));
+        }
+    }
+
+    /// Folds a big-endian u16 into the checksum.
+    pub fn add_u16(&mut self, v: u16) {
+        self.sum += u32::from(v);
+    }
+
+    /// Folds a big-endian u32 into the checksum.
+    pub fn add_u32(&mut self, v: u32) {
+        self.add_u16((v >> 16) as u16);
+        self.add_u16(v as u16);
+    }
+
+    /// Folds the IPv6 pseudo-header: src, dst, upper-layer length, and
+    /// next-header value.
+    pub fn add_pseudo_header(&mut self, src: Ipv6Addr, dst: Ipv6Addr, next_header: u8, len: u32) {
+        self.add_bytes(&src.0);
+        self.add_bytes(&dst.0);
+        self.add_u32(len);
+        self.add_u32(u32::from(next_header));
+    }
+
+    /// Finishes the computation, returning the one's-complement result.
+    pub fn finish(self) -> u16 {
+        let mut sum = self.sum;
+        while sum >> 16 != 0 {
+            sum = (sum & 0xffff) + (sum >> 16);
+        }
+        !(sum as u16)
+    }
+}
+
+/// Convenience: checksum of an upper-layer segment with pseudo-header.
+pub fn upper_layer_checksum(src: Ipv6Addr, dst: Ipv6Addr, next_header: u8, payload: &[u8]) -> u16 {
+    let mut ck = Checksum::new();
+    ck.add_pseudo_header(src, dst, next_header, payload.len() as u32);
+    ck.add_bytes(payload);
+    ck.finish()
+}
+
+/// Verifies a segment whose checksum field is already filled in: the
+/// total must fold to zero (i.e. `finish()` returns 0... which appears
+/// as 0xffff before complement). Returns true when valid.
+pub fn verify_upper_layer(src: Ipv6Addr, dst: Ipv6Addr, next_header: u8, payload: &[u8]) -> bool {
+    upper_layer_checksum(src, dst, next_header, payload) == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::NodeId;
+
+    #[test]
+    fn rfc1071_example() {
+        // RFC 1071 example words: 0x0001 0xf203 f4f5 f6f7 -> sum ddf2 -> checksum 0x220d
+        let mut ck = Checksum::new();
+        ck.add_bytes(&[0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7]);
+        assert_eq!(ck.finish(), !0xddf2);
+    }
+
+    #[test]
+    fn odd_length_pads_with_zero() {
+        let mut a = Checksum::new();
+        a.add_bytes(&[0x12, 0x34, 0x56]);
+        let mut b = Checksum::new();
+        b.add_bytes(&[0x12, 0x34, 0x56, 0x00]);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn checksum_then_verify_roundtrip() {
+        let src = NodeId(1).mesh_addr();
+        let dst = NodeId(2).mesh_addr();
+        let mut seg = vec![0u8; 31];
+        for (i, b) in seg.iter_mut().enumerate() {
+            *b = (i * 7) as u8;
+        }
+        // Put the checksum into bytes 16..18 (arbitrary position for test).
+        let c = upper_layer_checksum(src, dst, 6, &seg);
+        seg[16] = (c >> 8) as u8;
+        seg[17] = (c & 0xff) as u8;
+        // Only works if the checksum field was zero when computed; bytes
+        // 16..18 were 112,119 — recompute properly:
+        seg[16] = 0;
+        seg[17] = 0;
+        let c = upper_layer_checksum(src, dst, 6, &seg);
+        seg[16] = (c >> 8) as u8;
+        seg[17] = (c & 0xff) as u8;
+        assert!(verify_upper_layer(src, dst, 6, &seg));
+        // Corrupt one byte -> verification fails.
+        seg[3] ^= 0x40;
+        assert!(!verify_upper_layer(src, dst, 6, &seg));
+    }
+
+    #[test]
+    fn incremental_equals_oneshot() {
+        let data: Vec<u8> = (0..57).map(|i| (i * 13) as u8).collect();
+        let mut a = Checksum::new();
+        a.add_bytes(&data);
+        let mut b = Checksum::new();
+        b.add_bytes(&data[..20]);
+        b.add_bytes(&data[20..]);
+        // Note: incremental split at even offsets only.
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn pseudo_header_differs_by_address() {
+        let a = upper_layer_checksum(NodeId(1).mesh_addr(), NodeId(2).mesh_addr(), 6, b"hello");
+        let b = upper_layer_checksum(NodeId(1).mesh_addr(), NodeId(3).mesh_addr(), 6, b"hello");
+        assert_ne!(a, b);
+    }
+}

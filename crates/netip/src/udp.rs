@@ -1,0 +1,129 @@
+//! UDP header (RFC 768) for the CoAP experiments.
+
+use crate::addr::Ipv6Addr;
+use crate::checksum::Checksum;
+
+/// Length of a UDP header.
+pub const UDP_HEADER_LEN: usize = 8;
+
+/// A decoded UDP header.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct UdpHeader {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Length of header plus payload.
+    pub len: u16,
+    /// Checksum (mandatory over IPv6).
+    pub checksum: u16,
+}
+
+impl UdpHeader {
+    /// Encodes a UDP datagram (header + payload) with a valid checksum.
+    pub fn encode_datagram(
+        src: Ipv6Addr,
+        dst: Ipv6Addr,
+        src_port: u16,
+        dst_port: u16,
+        payload: &[u8],
+    ) -> Vec<u8> {
+        let len = (UDP_HEADER_LEN + payload.len()) as u16;
+        let mut out = Vec::with_capacity(len as usize);
+        out.extend_from_slice(&src_port.to_be_bytes());
+        out.extend_from_slice(&dst_port.to_be_bytes());
+        out.extend_from_slice(&len.to_be_bytes());
+        out.extend_from_slice(&[0, 0]);
+        out.extend_from_slice(payload);
+        let mut ck = Checksum::new();
+        ck.add_pseudo_header(src, dst, 17, u32::from(len));
+        ck.add_bytes(&out);
+        let mut c = ck.finish();
+        if c == 0 {
+            c = 0xffff; // RFC 768: zero is transmitted as all-ones
+        }
+        out[6..8].copy_from_slice(&c.to_be_bytes());
+        out
+    }
+
+    /// Decodes and verifies a UDP datagram; returns header + payload.
+    pub fn decode_datagram(
+        src: Ipv6Addr,
+        dst: Ipv6Addr,
+        datagram: &[u8],
+    ) -> Option<(UdpHeader, &[u8])> {
+        if datagram.len() < UDP_HEADER_LEN {
+            return None;
+        }
+        let hdr = UdpHeader {
+            src_port: u16::from_be_bytes([datagram[0], datagram[1]]),
+            dst_port: u16::from_be_bytes([datagram[2], datagram[3]]),
+            len: u16::from_be_bytes([datagram[4], datagram[5]]),
+            checksum: u16::from_be_bytes([datagram[6], datagram[7]]),
+        };
+        if usize::from(hdr.len) != datagram.len() {
+            return None;
+        }
+        let mut ck = Checksum::new();
+        ck.add_pseudo_header(src, dst, 17, u32::from(hdr.len));
+        ck.add_bytes(datagram);
+        if ck.finish() != 0 {
+            return None;
+        }
+        Some((hdr, &datagram[UDP_HEADER_LEN..]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::NodeId;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let src = NodeId(3).mesh_addr();
+        let dst = NodeId(4).mesh_addr();
+        let dg = UdpHeader::encode_datagram(src, dst, 5683, 61616, b"coap payload");
+        let (hdr, payload) = UdpHeader::decode_datagram(src, dst, &dg).expect("valid");
+        assert_eq!(hdr.src_port, 5683);
+        assert_eq!(hdr.dst_port, 61616);
+        assert_eq!(payload, b"coap payload");
+        assert_eq!(usize::from(hdr.len), dg.len());
+    }
+
+    #[test]
+    fn corrupted_datagram_rejected() {
+        let src = NodeId(3).mesh_addr();
+        let dst = NodeId(4).mesh_addr();
+        let mut dg = UdpHeader::encode_datagram(src, dst, 1, 2, b"x");
+        dg[8] ^= 1;
+        assert!(UdpHeader::decode_datagram(src, dst, &dg).is_none());
+    }
+
+    #[test]
+    fn wrong_pseudo_header_rejected() {
+        let src = NodeId(3).mesh_addr();
+        let dst = NodeId(4).mesh_addr();
+        let dg = UdpHeader::encode_datagram(src, dst, 1, 2, b"x");
+        assert!(UdpHeader::decode_datagram(src, NodeId(5).mesh_addr(), &dg).is_none());
+    }
+
+    #[test]
+    fn truncated_datagram_rejected() {
+        let src = NodeId(3).mesh_addr();
+        let dst = NodeId(4).mesh_addr();
+        let dg = UdpHeader::encode_datagram(src, dst, 1, 2, b"hello");
+        assert!(UdpHeader::decode_datagram(src, dst, &dg[..dg.len() - 1]).is_none());
+        assert!(UdpHeader::decode_datagram(src, dst, &dg[..4]).is_none());
+    }
+
+    #[test]
+    fn empty_payload_ok() {
+        let src = NodeId(1).mesh_addr();
+        let dst = NodeId(2).mesh_addr();
+        let dg = UdpHeader::encode_datagram(src, dst, 9, 10, b"");
+        let (hdr, payload) = UdpHeader::decode_datagram(src, dst, &dg).unwrap();
+        assert_eq!(hdr.len, 8);
+        assert!(payload.is_empty());
+    }
+}

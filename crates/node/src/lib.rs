@@ -1,0 +1,25 @@
+//! `lln-node` — full-stack simulated nodes and the experiment world.
+//!
+//! This crate wires every substrate together into runnable networks:
+//! each [`stack::Node`] owns a software MAC (CSMA + link retries with
+//! the paper's random delay), a 6LoWPAN adaptation layer, an IPv6
+//! forwarding layer (FIFO or RED/ECN queues), and one of the transport
+//! stacks under study (TCPlp, uIP-class TCP, CoAP/CoCoA over UDP). The
+//! [`world::World`] owns the shared radio [`lln_phy::Medium`], the
+//! event queue, the border-router↔cloud wired link, and the
+//! measurement hooks every experiment binary uses.
+//!
+//! Topologies mirror the paper's: single-hop pairs (§6), hidden-
+//! terminal chains (§7), and a Figure 3-like office tree for the
+//! application study (§9).
+
+pub mod app;
+pub mod route;
+pub mod stack;
+pub mod trace;
+pub mod world;
+
+pub use route::{RouteTable, Topology};
+pub use stack::{Node, NodeKind, TransportKind, TransportStack};
+pub use trace::{PacketTrace, TraceDir};
+pub use world::{World, WorldConfig};

@@ -1,0 +1,391 @@
+//! Per-node state: MAC queues, adaptation layer, IP forwarding,
+//! transport sockets, application, and energy meter.
+//!
+//! The event-handling logic lives in [`crate::world`]; this module owns
+//! the data and the pure helpers. One `Node` is one mote (or the cloud
+//! host / an interferer).
+
+use crate::app::App;
+use crate::route::RouteTable;
+use lln_coap::{CoapClient, CoapServer};
+use lln_energy::EnergyMeter;
+use lln_mac::csma::{MacConfig, TxProcess};
+use lln_mac::frame::MacFrame;
+use lln_netip::{Ecn, FifoQueue, Ipv6Addr, Ipv6Header, NodeId, RedConfig, RedQueue};
+use lln_phy::medium::TxHandle;
+use lln_sim::stats::Counters;
+use lln_sim::{EventToken, Instant};
+use lln_sixlowpan::Reassembler;
+use lln_uip::UipSocket;
+use std::collections::{HashMap, HashSet, VecDeque};
+use tcplp::{ListenSocket, TcpSocket};
+
+/// Role of a node in the network.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum NodeKind {
+    /// Always-on mesh router.
+    Router,
+    /// The border router: mesh on one side, the wired link on the other.
+    BorderRouter,
+    /// Duty-cycled leaf (Thread sleepy end device).
+    SleepyLeaf,
+    /// The cloud server behind the border router (no radio activity).
+    CloudHost,
+    /// A pure interference source (jams, never communicates).
+    Interferer,
+}
+
+/// Which transport stack a node runs (for reporting).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TransportKind {
+    /// No transport.
+    None,
+    /// Full-scale TCPlp.
+    Tcplp,
+    /// The uIP-class simplified TCP baseline.
+    Uip,
+    /// CoAP (confirmable or not, per client config).
+    Coap,
+}
+
+/// Transport sockets hosted on a node.
+#[derive(Default)]
+pub struct TransportStack {
+    /// Passive TCP socket.
+    pub tcp_listener: Option<ListenSocket>,
+    /// Active TCP sockets (client-side or accepted).
+    pub tcp: Vec<TcpSocket>,
+    /// uIP-class socket.
+    pub uip: Option<UipSocket>,
+    /// CoAP client (sensor side).
+    pub coap_client: Option<CoapClient>,
+    /// CoAP server (cloud side).
+    pub coap_server: Option<CoapServer>,
+}
+
+/// A packet waiting at the IP layer.
+#[derive(Clone, Debug)]
+pub struct OutPacket {
+    /// IPv6 header (payload_len maintained by the stack).
+    pub hdr: Ipv6Header,
+    /// Transport payload (full TCP segment or UDP datagram bytes).
+    pub payload: Vec<u8>,
+    /// Link-layer next hop.
+    pub next_hop: NodeId,
+}
+
+/// The IP-layer queue discipline on a node.
+pub enum IpQueue {
+    /// FIFO with tail drop (default; Appendix A's baseline).
+    Fifo(FifoQueue<OutPacket>),
+    /// RED with ECN marking (Appendix A's fix).
+    Red(RedQueue<OutPacket>),
+}
+
+impl IpQueue {
+    /// Offers a packet; RED may CE-mark the stored copy. Returns false
+    /// on drop.
+    pub fn offer(&mut self, pkt: OutPacket, rand01: f64) -> bool {
+        match self {
+            IpQueue::Fifo(q) => matches!(q.offer(pkt), lln_netip::QueueOutcome::Enqueued),
+            IpQueue::Red(q) => {
+                let ecn = pkt.hdr.ecn;
+                !matches!(
+                    q.offer_with(pkt, ecn, rand01, |p| p.hdr.ecn = Ecn::Ce),
+                    lln_netip::QueueOutcome::Dropped
+                )
+            }
+        }
+    }
+
+    /// Pops the head packet.
+    pub fn pop(&mut self) -> Option<OutPacket> {
+        match self {
+            IpQueue::Fifo(q) => q.pop(),
+            IpQueue::Red(q) => q.pop(),
+        }
+    }
+
+    /// Queue depth.
+    pub fn len(&self) -> usize {
+        match self {
+            IpQueue::Fifo(q) => q.len(),
+            IpQueue::Red(q) => q.len(),
+        }
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops so far.
+    pub fn drops(&self) -> u64 {
+        match self {
+            IpQueue::Fifo(q) => q.drops(),
+            IpQueue::Red(q) => q.drops(),
+        }
+    }
+}
+
+/// The in-progress MAC transmission.
+pub struct CurrentTx {
+    /// The frame being sent.
+    pub frame: MacFrame,
+    /// Encoded bytes (cached).
+    pub encoded: Vec<u8>,
+    /// CSMA/retry state machine.
+    pub process: TxProcess,
+    /// Medium handle while on the air.
+    pub handle: Option<TxHandle>,
+    /// Pending MAC timer token (backoff/CCA/ack-wait), for cancellation.
+    pub timer: Option<EventToken>,
+}
+
+/// One simulated node.
+pub struct Node {
+    /// Node id == radio index.
+    pub id: NodeId,
+    /// Role.
+    pub kind: NodeKind,
+    /// MAC configuration (per-node so experiments can vary `d`).
+    pub mac_cfg: MacConfig,
+
+    // --- MAC state ---
+    /// Control frames (data requests, indirect data) — priority queue.
+    pub ctrl_queue: VecDeque<MacFrame>,
+    /// Frames of the packet currently being sent.
+    pub cur_packet_frames: VecDeque<MacFrame>,
+    /// The transmission in progress.
+    pub cur_tx: Option<CurrentTx>,
+    /// MAC sequence counter.
+    pub mac_seq: u8,
+    /// Duplicate detection: last seq seen per neighbour.
+    pub last_rx_seq: HashMap<NodeId, u8>,
+
+    // --- radio state ---
+    /// Radio powered (sleepy leaves toggle this).
+    pub awake: bool,
+    /// When the current listen period started (a frame is received only
+    /// if we listened for its entire duration).
+    pub listen_since: Instant,
+    /// True while our own frame is on the air.
+    pub transmitting: bool,
+
+    // --- adaptation / IP ---
+    /// 6LoWPAN reassembly.
+    pub reassembler: Reassembler,
+    /// Fragmentation tag counter.
+    pub frag_tag: u16,
+    /// IP send/forward queue.
+    pub ip_queue: IpQueue,
+    /// Routing table.
+    pub routes: RouteTable,
+    /// Uniform packet-loss rate injected when forwarding (the §9.4
+    /// knob; nonzero only on the border router).
+    pub inject_loss: f64,
+
+    // --- sleepy children (router side) ---
+    /// Children that sleep; packets for them go to the indirect queue.
+    pub sleepy_children: HashSet<NodeId>,
+    /// Indirect packet queue per sleepy child.
+    pub indirect: HashMap<NodeId, VecDeque<OutPacket>>,
+
+    // --- sleepy leaf state ---
+    /// Poll scheduler (leaf).
+    pub poll: Option<lln_mac::poll::PollScheduler>,
+    /// Token for the pending poll-wake event.
+    pub poll_timer: Option<EventToken>,
+    /// Deadline token for the listen window after a poll.
+    pub poll_window: Option<EventToken>,
+    /// A data request is in flight / response expected.
+    pub polling: bool,
+    /// Whether the current wake period fetched a downstream frame
+    /// (drives the adaptive Trickle interval, Appendix C).
+    pub poll_got_frame: bool,
+
+    // --- transport / app ---
+    /// Transport sockets.
+    pub transport: TransportStack,
+    /// Which transport this node reports as.
+    pub transport_kind: TransportKind,
+    /// Pending transport-timer token.
+    pub transport_timer: Option<EventToken>,
+    /// Application.
+    pub app: App,
+
+    // --- accounting ---
+    /// Energy meter.
+    pub meter: EnergyMeter,
+    /// Per-node counters (frames sent, drops, forwards...).
+    pub counters: Counters,
+}
+
+impl Node {
+    /// Creates a node with the given role.
+    pub fn new(id: NodeId, kind: NodeKind, mac_cfg: MacConfig, now: Instant) -> Self {
+        let awake = kind != NodeKind::SleepyLeaf;
+        let mut meter = EnergyMeter::new(now);
+        if awake && kind != NodeKind::CloudHost && kind != NodeKind::Interferer {
+            meter.set_radio_state(lln_energy::RadioState::Rx, now);
+        }
+        Node {
+            id,
+            kind,
+            mac_cfg,
+            ctrl_queue: VecDeque::new(),
+            cur_packet_frames: VecDeque::new(),
+            cur_tx: None,
+            // De-correlate sequence counters across nodes so overheard
+            // ACKs rarely carry a matching sequence number.
+            mac_seq: (id.0 as u8).wrapping_mul(37),
+            last_rx_seq: HashMap::new(),
+            awake,
+            listen_since: now,
+            transmitting: false,
+            reassembler: Reassembler::default(),
+            frag_tag: id.0,
+            ip_queue: IpQueue::Fifo(FifoQueue::new(24)),
+            routes: RouteTable::new(),
+            inject_loss: 0.0,
+            sleepy_children: HashSet::new(),
+            indirect: HashMap::new(),
+            poll: None,
+            poll_timer: None,
+            poll_window: None,
+            polling: false,
+            poll_got_frame: false,
+            transport: TransportStack::default(),
+            transport_kind: TransportKind::None,
+            transport_timer: None,
+            app: App::None,
+            meter,
+            counters: Counters::new(),
+        }
+    }
+
+    /// Switches this node's IP queue to RED/ECN (Appendix A).
+    pub fn use_red_queue(&mut self, cfg: RedConfig) {
+        self.ip_queue = IpQueue::Red(RedQueue::new(cfg));
+    }
+
+    /// The node's mesh-local address (cloud hosts use the cloud prefix).
+    pub fn ip_addr(&self) -> Ipv6Addr {
+        match self.kind {
+            NodeKind::CloudHost => self.id.cloud_addr(),
+            _ => self.id.mesh_addr(),
+        }
+    }
+
+    /// Next MAC sequence number.
+    pub fn next_seq(&mut self) -> u8 {
+        self.mac_seq = self.mac_seq.wrapping_add(1);
+        self.mac_seq
+    }
+
+    /// Next 6LoWPAN datagram tag.
+    pub fn next_tag(&mut self) -> u16 {
+        self.frag_tag = self.frag_tag.wrapping_add(1);
+        self.frag_tag
+    }
+
+    /// Is a duplicate of an already-processed frame? Updates the table.
+    pub fn check_duplicate(&mut self, src: NodeId, seq: u8) -> bool {
+        match self.last_rx_seq.insert(src, seq) {
+            Some(prev) => prev == seq,
+            None => false,
+        }
+    }
+
+    /// True when the MAC has nothing to send.
+    pub fn mac_idle(&self) -> bool {
+        self.cur_tx.is_none()
+            && self.ctrl_queue.is_empty()
+            && self.cur_packet_frames.is_empty()
+            && self.ip_queue.is_empty()
+    }
+
+    /// Whether the transport expects inbound traffic soon (drives the
+    /// §9.2 fast-poll behaviour on sleepy leaves).
+    pub fn expecting_response(&self) -> bool {
+        let tcp_waiting = self
+            .transport
+            .tcp
+            .iter()
+            .any(|s| s.flight_size() > 0 || s.state() == tcplp::TcpState::SynSent);
+        let coap_waiting = self
+            .transport
+            .coap_client
+            .as_ref()
+            .is_some_and(CoapClient::expecting_response);
+        tcp_waiting || coap_waiting
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(kind: NodeKind) -> Node {
+        Node::new(NodeId(3), kind, MacConfig::default(), Instant::ZERO)
+    }
+
+    #[test]
+    fn router_starts_awake_leaf_asleep() {
+        assert!(node(NodeKind::Router).awake);
+        assert!(!node(NodeKind::SleepyLeaf).awake);
+    }
+
+    #[test]
+    fn addresses_by_kind() {
+        assert!(node(NodeKind::Router).ip_addr().is_mesh_local());
+        assert!(!node(NodeKind::CloudHost).ip_addr().is_mesh_local());
+    }
+
+    #[test]
+    fn duplicate_detection_per_source() {
+        let mut n = node(NodeKind::Router);
+        assert!(!n.check_duplicate(NodeId(1), 5));
+        assert!(n.check_duplicate(NodeId(1), 5));
+        assert!(!n.check_duplicate(NodeId(1), 6));
+        assert!(!n.check_duplicate(NodeId(2), 6), "per-source tracking");
+    }
+
+    #[test]
+    fn seq_and_tag_advance() {
+        let mut n = node(NodeKind::Router);
+        let a = n.next_seq();
+        let b = n.next_seq();
+        assert_ne!(a, b);
+        assert_ne!(n.next_tag(), n.next_tag());
+    }
+
+    #[test]
+    fn mac_idle_accounting() {
+        let mut n = node(NodeKind::Router);
+        assert!(n.mac_idle());
+        n.ctrl_queue.push_back(MacFrame::data(NodeId(3), NodeId(1), 0, vec![]));
+        assert!(!n.mac_idle());
+    }
+
+    #[test]
+    fn ip_queue_fifo_drops_when_full() {
+        let mut n = node(NodeKind::Router);
+        let pkt = OutPacket {
+            hdr: Ipv6Header::new(
+                NodeId(3).mesh_addr(),
+                NodeId(1).mesh_addr(),
+                lln_netip::NextHeader::Tcp,
+                0,
+            ),
+            payload: vec![],
+            next_hop: NodeId(1),
+        };
+        for _ in 0..24 {
+            assert!(n.ip_queue.offer(pkt.clone(), 0.5));
+        }
+        assert!(!n.ip_queue.offer(pkt, 0.5));
+        assert_eq!(n.ip_queue.drops(), 1);
+        assert_eq!(n.ip_queue.len(), 24);
+    }
+}

@@ -1,0 +1,1346 @@
+//! The discrete-event world: one radio medium, N full-stack nodes, a
+//! wired border↔cloud link, interferers, and the event loop.
+//!
+//! Every paper experiment is a `World` configured with a topology,
+//! per-node roles/transports/apps, and a simulated duration. The event
+//! loop is strictly deterministic: one seeded RNG, tie-broken event
+//! ordering, no wall clock.
+
+use crate::app::{AnemometerApp, App, InterfererApp, READING_BYTES};
+use crate::route::Topology;
+use crate::stack::{CurrentTx, Node, NodeKind, OutPacket, TransportKind};
+use lln_coap::{CoapClient, CoapServer};
+use lln_energy::RadioState;
+use lln_mac::csma::{MacConfig, TxProcess, TxStep};
+use lln_mac::frame::{FrameType, MacFrame, MAX_MAC_PAYLOAD};
+use lln_netip::{Ecn, Ipv6Header, NextHeader, NodeId, UdpHeader};
+use lln_phy::medium::TxHandle;
+use lln_phy::{Medium, PhyConfig, RadioIdx};
+use lln_sim::{Duration, EventQueue, Instant, Rng};
+use lln_sixlowpan::{fragment, iphc};
+use std::collections::HashMap;
+use tcplp::{Segment, TcpConfig, TcpSocket};
+
+/// CoAP's registered port.
+pub const COAP_PORT: u16 = 5683;
+/// The cloud TCP service port.
+pub const TCP_PORT: u16 = 80;
+
+/// World-level configuration.
+#[derive(Clone, Debug)]
+pub struct WorldConfig {
+    /// PHY timing.
+    pub phy: PhyConfig,
+    /// Default MAC parameters (per-node copies may be adjusted).
+    pub mac: MacConfig,
+    /// RNG seed.
+    pub seed: u64,
+    /// One-way wired latency border↔cloud (paper: ~12 ms RTT).
+    pub wired_latency: Duration,
+    /// CPU charge per MAC frame handled (tx or rx).
+    pub cpu_per_frame: Duration,
+    /// CPU charge per transport segment/message processed.
+    pub cpu_per_segment: Duration,
+    /// Listen window after a data-request poll (sleepy leaves).
+    pub poll_window: Duration,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        WorldConfig {
+            phy: PhyConfig::default(),
+            mac: MacConfig::default(),
+            seed: 0x5eed,
+            wired_latency: Duration::from_millis(6),
+            cpu_per_frame: Duration::from_micros(800),
+            cpu_per_segment: Duration::from_micros(600),
+            poll_window: Duration::from_millis(100),
+        }
+    }
+}
+
+/// Events in the world.
+pub enum Event {
+    /// CSMA backoff elapsed: start a CCA measurement.
+    MacTimer(usize),
+    /// CCA measurement done: query the medium.
+    CcaDone(usize),
+    /// Platform (SPI) transfer done: frame goes on the air.
+    SpiDone(usize),
+    /// Frame air time over: resolve deliveries.
+    AirDone(usize),
+    /// Link ACK wait expired.
+    AckTimeout(usize),
+    /// Receiver turnaround done: link ACK goes on the air.
+    LinkAckStart(usize, u8, bool),
+    /// Link ACK air time over.
+    LinkAckDone(usize),
+    /// A transport timer may have expired.
+    TransportTimer(usize),
+    /// Sleepy leaf wakes to poll its parent.
+    PollWake(usize),
+    /// Sleepy leaf's post-poll listen window expired.
+    PollWindowEnd(usize),
+    /// Application tick (reading generation, bulk start...).
+    AppTick(usize),
+    /// Wired packet arrives at node (border or cloud).
+    WiredDeliver(usize, Ipv6Header, Vec<u8>),
+    /// Interferer begins a burst.
+    InterfererStart(usize),
+    /// Interferer burst ends.
+    InterfererEnd(usize),
+}
+
+/// The simulation world.
+pub struct World {
+    /// Configuration.
+    pub cfg: WorldConfig,
+    /// Event queue.
+    pub queue: EventQueue<Event>,
+    /// Shared radio medium.
+    pub medium: Medium,
+    /// Nodes, indexed by radio index (== NodeId value).
+    pub nodes: Vec<Node>,
+    /// World RNG.
+    pub rng: Rng,
+    /// Border router index (wired hub), if any.
+    pub border: Option<usize>,
+    /// Cloud host index, if any.
+    pub cloud: Option<usize>,
+    ack_handles: HashMap<usize, (TxHandle, MacFrame, Instant)>,
+    interferer_handles: HashMap<usize, (TxHandle, Instant)>,
+    /// Optional tcpdump-style event log (see [`crate::trace`]).
+    pub trace: crate::trace::PacketTrace,
+}
+
+impl World {
+    /// Builds a world over `topology`, with per-node kinds.
+    pub fn new(topology: &Topology, kinds: &[NodeKind], cfg: WorldConfig) -> Self {
+        assert_eq!(topology.links.len(), kinds.len());
+        let mut rng = Rng::new(cfg.seed);
+        let medium = Medium::new(topology.links.clone(), rng.fork(0xAA));
+        let now = Instant::ZERO;
+        let mut nodes: Vec<Node> = kinds
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| Node::new(NodeId(i as u16), k, cfg.mac.clone(), now))
+            .collect();
+        let mut border = None;
+        let mut cloud = None;
+        for (i, node) in nodes.iter_mut().enumerate() {
+            node.routes = topology.routes[i].clone();
+            match node.kind {
+                NodeKind::BorderRouter => border = Some(i),
+                NodeKind::CloudHost => cloud = Some(i),
+                _ => {}
+            }
+        }
+        // Register sleepy children with their parents, and point leaves'
+        // default routes at their parent. Without a border router the
+        // parent is the route toward node 0 (single-hop experiments).
+        let anchor = border.unwrap_or(0);
+        for i in 0..nodes.len() {
+            if nodes[i].kind == NodeKind::SleepyLeaf && i != anchor {
+                if let Some(parent) = nodes[i].routes.lookup(NodeId(anchor as u16)) {
+                    nodes[i].routes.default_route = Some(parent);
+                    nodes[parent.0 as usize].sleepy_children.insert(NodeId(i as u16));
+                    nodes[i].poll = Some(lln_mac::poll::PollScheduler::new(
+                        lln_mac::poll::PollMode::paper_fixed(),
+                    ));
+                }
+            }
+        }
+        // Default routes for everyone toward the border (for the cloud
+        // prefix).
+        if let Some(b) = border {
+            for i in 0..nodes.len() {
+                if i != b && nodes[i].kind != NodeKind::CloudHost {
+                    let via = nodes[i].routes.lookup(NodeId(b as u16));
+                    if nodes[i].routes.default_route.is_none() {
+                        nodes[i].routes.default_route = via;
+                    }
+                }
+            }
+        }
+        let mut world = World {
+            cfg,
+            queue: EventQueue::new(),
+            medium,
+            nodes,
+            rng,
+            border,
+            cloud,
+            ack_handles: HashMap::new(),
+            interferer_handles: HashMap::new(),
+            trace: crate::trace::PacketTrace::new(),
+        };
+        // Sleepy leaves begin their poll schedule immediately (spread
+        // out to avoid synchronised polls).
+        for i in 0..world.nodes.len() {
+            if world.nodes[i].kind == NodeKind::SleepyLeaf {
+                let jitter = Duration::from_millis(50 + 37 * i as u64);
+                let tok = world
+                    .queue
+                    .schedule(Instant::ZERO + jitter, Event::PollWake(i));
+                world.nodes[i].poll_timer = Some(tok);
+            }
+        }
+        world
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Instant {
+        self.queue.now()
+    }
+
+    /// Enables the packet trace (bounded at `capacity` entries).
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace.enable(capacity);
+    }
+
+    // ------------------------------------------------------------------
+    // Experiment setup helpers
+    // ------------------------------------------------------------------
+
+    /// Installs a TCPlp listener on `server` (port 80).
+    pub fn add_tcp_listener(&mut self, server: usize, cfg: TcpConfig) {
+        let addr = self.nodes[server].ip_addr();
+        self.nodes[server].transport.tcp_listener =
+            Some(tcplp::ListenSocket::new(cfg, addr, TCP_PORT));
+        self.nodes[server].transport_kind = TransportKind::Tcplp;
+    }
+
+    /// Creates a TCPlp client socket on `client` targeting `server`,
+    /// connecting at `at`. Returns the index of the socket in the
+    /// node's `transport.tcp` vector.
+    pub fn add_tcp_client(
+        &mut self,
+        client: usize,
+        server: usize,
+        cfg: TcpConfig,
+        at: Instant,
+    ) -> usize {
+        let caddr = self.nodes[client].ip_addr();
+        let saddr = self.nodes[server].ip_addr();
+        let port = 49152 + self.nodes[client].transport.tcp.len() as u16;
+        let mut sock = TcpSocket::new(cfg, caddr, port);
+        let iss = self.rng.next_u64() as u32;
+        sock.connect(saddr, TCP_PORT, iss, at);
+        self.nodes[client].transport.tcp.push(sock);
+        self.nodes[client].transport_kind = TransportKind::Tcplp;
+        let idx = self.nodes[client].transport.tcp.len() - 1;
+        self.queue.schedule(at, Event::TransportTimer(client));
+        idx
+    }
+
+    /// Creates a uIP-class client socket on `client` targeting the
+    /// TCPlp listener on `server` (Table 7's baseline stacks).
+    pub fn add_uip_client(
+        &mut self,
+        client: usize,
+        server: usize,
+        cfg: lln_uip::UipConfig,
+        at: Instant,
+    ) {
+        let caddr = self.nodes[client].ip_addr();
+        let saddr = self.nodes[server].ip_addr();
+        let mut sock = lln_uip::UipSocket::new(cfg, caddr, 49152);
+        let iss = self.rng.next_u64() as u32;
+        sock.connect(saddr, TCP_PORT, iss, at);
+        self.nodes[client].transport.uip = Some(sock);
+        self.nodes[client].transport_kind = TransportKind::Uip;
+        self.queue.schedule(at, Event::TransportTimer(client));
+    }
+
+    /// Overrides a sleepy leaf's poll schedule (Appendix C sweeps).
+    pub fn set_poll_mode(&mut self, node: usize, mode: lln_mac::poll::PollMode) {
+        self.nodes[node].poll = Some(lln_mac::poll::PollScheduler::new(mode));
+    }
+
+    /// Kicks a sleepy leaf's polling off at `at` (used when a custom
+    /// poll mode should start polling immediately rather than waiting
+    /// out the default idle interval).
+    pub fn schedule_poll(&mut self, node: usize, at: Instant) {
+        if let Some(tok) = self.nodes[node].poll_timer.take() {
+            self.queue.cancel(tok);
+        }
+        let tok = self.queue.schedule(at, Event::PollWake(node));
+        self.nodes[node].poll_timer = Some(tok);
+    }
+
+    /// Configures `node` as a bulk sender over its first TCP socket.
+    pub fn set_bulk_sender(&mut self, node: usize, limit: Option<u64>) {
+        self.nodes[node].app = App::BulkSender {
+            limit,
+            sent: 0,
+            pattern: 0,
+        };
+    }
+
+    /// Configures `node` as a sink (drains all sockets).
+    pub fn set_sink(&mut self, node: usize) {
+        self.nodes[node].app = App::Sink {
+            received: 0,
+            first_byte: None,
+            last_byte: None,
+        };
+    }
+
+    /// Configures the anemometer app on `node`, readings starting at
+    /// `start`.
+    pub fn set_anemometer(
+        &mut self,
+        node: usize,
+        queue_capacity: usize,
+        batch: Option<usize>,
+        start: Instant,
+    ) {
+        self.nodes[node].app = App::Anemometer(AnemometerApp::new(
+            Duration::from_secs(1),
+            queue_capacity,
+            batch,
+        ));
+        self.queue.schedule(start, Event::AppTick(node));
+    }
+
+    /// Installs a CoAP client on `node` posting toward the cloud.
+    pub fn add_coap_client(&mut self, node: usize, client: CoapClient) {
+        self.nodes[node].transport.coap_client = Some(client);
+        self.nodes[node].transport_kind = TransportKind::Coap;
+    }
+
+    /// Installs the CoAP server on `node` (usually the cloud host).
+    pub fn add_coap_server(&mut self, node: usize) {
+        self.nodes[node].transport.coap_server = Some(CoapServer::new());
+    }
+
+    /// Starts an interferer node's schedule.
+    pub fn start_interferer(&mut self, node: usize, app: InterfererApp, at: Instant) {
+        self.nodes[node].app = App::Interferer(app);
+        self.queue.schedule(at, Event::InterfererStart(node));
+    }
+
+    /// Sets the injected forwarding loss at a node (§9.4: the border).
+    pub fn set_injected_loss(&mut self, node: usize, p: f64) {
+        self.nodes[node].inject_loss = p;
+    }
+
+    // ------------------------------------------------------------------
+    // Main loop
+    // ------------------------------------------------------------------
+
+    /// Runs until `deadline`.
+    pub fn run_until(&mut self, deadline: Instant) {
+        loop {
+            let Some(t) = self.queue.peek_time() else {
+                break;
+            };
+            if t > deadline {
+                break;
+            }
+            let (now, ev) = self.queue.pop().expect("peeked");
+            self.dispatch(now, ev);
+        }
+    }
+
+    /// Runs for `span` from the current time.
+    pub fn run_for(&mut self, span: Duration) {
+        let deadline = self.now() + span;
+        self.run_until(deadline);
+    }
+
+    fn dispatch(&mut self, now: Instant, ev: Event) {
+        match ev {
+            Event::MacTimer(i) => self.on_mac_timer(i, now),
+            Event::CcaDone(i) => self.on_cca_done(i, now),
+            Event::SpiDone(i) => self.on_spi_done(i, now),
+            Event::AirDone(i) => self.on_air_done(i, now),
+            Event::AckTimeout(i) => self.on_ack_timeout(i, now),
+            Event::LinkAckStart(i, seq, pending) => self.on_link_ack_start(i, seq, pending, now),
+            Event::LinkAckDone(i) => self.on_link_ack_done(i, now),
+            Event::TransportTimer(i) => self.on_transport_timer(i, now),
+            Event::PollWake(i) => self.on_poll_wake(i, now),
+            Event::PollWindowEnd(i) => self.on_poll_window_end(i, now),
+            Event::AppTick(i) => self.on_app_tick(i, now),
+            Event::WiredDeliver(i, hdr, payload) => {
+                self.handle_ip_packet(i, hdr, payload, now);
+            }
+            Event::InterfererStart(i) => self.on_interferer_start(i, now),
+            Event::InterfererEnd(i) => self.on_interferer_end(i, now),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // MAC engine
+    // ------------------------------------------------------------------
+
+    fn wake(&mut self, i: usize, now: Instant) {
+        let n = &mut self.nodes[i];
+        if !n.awake {
+            n.awake = true;
+            n.listen_since = now;
+            n.meter.set_radio_state(RadioState::Rx, now);
+        }
+    }
+
+    fn maybe_sleep(&mut self, i: usize, now: Instant) {
+        let expecting = self.nodes[i].expecting_response();
+        let n = &mut self.nodes[i];
+        if n.kind != NodeKind::SleepyLeaf || !n.awake {
+            return;
+        }
+        if n.cur_tx.is_some()
+            || !n.ctrl_queue.is_empty()
+            || !n.cur_packet_frames.is_empty()
+            || !n.ip_queue.is_empty()
+            || n.polling
+            || n.poll_window.is_some()
+        {
+            return;
+        }
+        n.awake = false;
+        n.meter.set_radio_state(RadioState::Sleep, now);
+        // Schedule the next poll.
+        let got = n.poll_got_frame;
+        n.poll_got_frame = false;
+        if let Some(poll) = n.poll.as_mut() {
+            poll.set_expecting_response(expecting);
+            let delay = poll.next_delay(got);
+            if let Some(tok) = n.poll_timer.take() {
+                self.queue.cancel(tok);
+            }
+            let tok = self.queue.schedule(now + delay, Event::PollWake(i));
+            self.nodes[i].poll_timer = Some(tok);
+        }
+    }
+
+    /// Starts the next MAC transmission if idle.
+    fn kick_mac(&mut self, i: usize, now: Instant) {
+        if self.nodes[i].kind == NodeKind::CloudHost {
+            return;
+        }
+        if self.nodes[i].cur_tx.is_some() {
+            return;
+        }
+        // Pick the next frame: control first, then current packet,
+        // then fragment the next IP packet.
+        let frame = if let Some(f) = self.nodes[i].ctrl_queue.pop_front() {
+            Some(f)
+        } else if let Some(f) = self.nodes[i].cur_packet_frames.pop_front() {
+            Some(f)
+        } else if let Some(pkt) = self.nodes[i].ip_queue.pop() {
+            self.fragment_packet(i, pkt);
+            self.nodes[i].cur_packet_frames.pop_front()
+        } else {
+            None
+        };
+        let Some(frame) = frame else {
+            self.maybe_sleep(i, now);
+            return;
+        };
+        self.wake(i, now);
+        let ack_expected = frame.ack_request;
+        let encoded = frame.encode();
+        let process = TxProcess::new(self.nodes[i].mac_cfg.clone(), ack_expected);
+        // Load the frame into the radio (SPI + driver cost) BEFORE
+        // CSMA: the radio then transmits immediately after a clear CCA,
+        // as real 802.15.4 hardware does. Retries re-use the loaded
+        // frame and skip this cost.
+        let overhead = self.cfg.phy.platform_overhead(encoded.len());
+        self.nodes[i].meter.add_cpu(overhead);
+        let tok = self.queue.schedule(now + overhead, Event::SpiDone(i));
+        self.nodes[i].cur_tx = Some(CurrentTx {
+            frame,
+            encoded,
+            process,
+            handle: None,
+            timer: Some(tok),
+        });
+    }
+
+    /// Fragments `pkt` into MAC frames bound for its next hop.
+    fn fragment_packet(&mut self, i: usize, pkt: OutPacket) {
+        let src_l2 = self.nodes[i].id;
+        let dst_l2 = pkt.next_hop;
+        let compressed = iphc::compress(&pkt.hdr, src_l2, dst_l2, &pkt.payload);
+        let tag = self.nodes[i].next_tag();
+        for frag in fragment(&compressed, tag, MAX_MAC_PAYLOAD) {
+            let seq = self.nodes[i].next_seq();
+            let f = MacFrame::data(src_l2, dst_l2, seq, frag.bytes);
+            self.nodes[i].cur_packet_frames.push_back(f);
+        }
+        self.nodes[i].counters.inc("packets_tx");
+    }
+
+    fn handle_step(&mut self, i: usize, step: TxStep, now: Instant) {
+        match step {
+            TxStep::BackoffThenCca(d) => {
+                let tok = self.queue.schedule(now + d, Event::MacTimer(i));
+                if let Some(tx) = self.nodes[i].cur_tx.as_mut() {
+                    tx.timer = Some(tok);
+                }
+            }
+            TxStep::Transmit => {
+                // Channel clear and the frame is already loaded: it
+                // goes on the air after the rx/tx turnaround.
+                let len = self.nodes[i].cur_tx.as_ref().map_or(0, |t| t.encoded.len());
+                let start = now + self.cfg.phy.turnaround;
+                let air = self.cfg.phy.air_time(len);
+                let handle = self.medium.begin_tx(RadioIdx(i), start, start + air);
+                if let Some(tx) = self.nodes[i].cur_tx.as_mut() {
+                    tx.handle = Some(handle);
+                    tx.timer = None;
+                }
+                self.nodes[i].transmitting = true;
+                self.nodes[i].meter.set_radio_state(RadioState::Tx, now);
+                self.nodes[i].counters.inc("frames_tx");
+                if self.trace.is_enabled() {
+                    let summary = self.nodes[i]
+                        .cur_tx
+                        .as_ref()
+                        .map(|t| crate::trace::summarize_frame(&t.frame))
+                        .unwrap_or_default();
+                    self.trace.record(
+                        now,
+                        self.nodes[i].id,
+                        crate::trace::TraceDir::FrameTx,
+                        summary,
+                    );
+                }
+                self.queue.schedule(start + air, Event::AirDone(i));
+            }
+            TxStep::AwaitAck => {
+                let wait = self.cfg.phy.ack_wait + self.cfg.phy.turnaround;
+                let tok = self.queue.schedule(now + wait, Event::AckTimeout(i));
+                if let Some(tx) = self.nodes[i].cur_tx.as_mut() {
+                    tx.timer = Some(tok);
+                }
+            }
+            TxStep::Done(ok) => self.finish_frame(i, ok, now),
+        }
+    }
+
+    fn on_mac_timer(&mut self, i: usize, now: Instant) {
+        if self.nodes[i].cur_tx.is_none() {
+            return;
+        }
+        // CCA measurement.
+        let tok = self
+            .queue
+            .schedule(now + self.cfg.phy.cca_duration, Event::CcaDone(i));
+        if let Some(tx) = self.nodes[i].cur_tx.as_mut() {
+            tx.timer = Some(tok);
+        }
+    }
+
+    fn on_cca_done(&mut self, i: usize, now: Instant) {
+        if self.nodes[i].cur_tx.is_none() {
+            return;
+        }
+        let busy = self.medium.cca_busy(RadioIdx(i), now);
+        let step = {
+            let tx = self.nodes[i].cur_tx.as_mut().unwrap();
+            tx.process.on_cca(busy, &mut self.rng)
+        };
+        self.handle_step(i, step, now);
+    }
+
+    fn on_spi_done(&mut self, i: usize, now: Instant) {
+        // Frame loaded: begin the CSMA process.
+        if self.nodes[i].cur_tx.is_none() {
+            return;
+        }
+        let step = {
+            let tx = self.nodes[i].cur_tx.as_mut().unwrap();
+            tx.process.start(&mut self.rng)
+        };
+        self.handle_step(i, step, now);
+    }
+
+    fn listeners_since(&self, start: Instant, exclude: usize) -> Vec<RadioIdx> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(j, n)| {
+                *j != exclude
+                    && n.awake
+                    && !n.transmitting
+                    && n.listen_since <= start
+                    && n.kind != NodeKind::CloudHost
+            })
+            .map(|(j, _)| RadioIdx(j))
+            .collect()
+    }
+
+    fn on_air_done(&mut self, i: usize, now: Instant) {
+        let Some(tx) = self.nodes[i].cur_tx.as_ref() else {
+            return;
+        };
+        let Some(handle) = tx.handle else { return };
+        let frame = tx.frame.clone();
+        let air = self.cfg.phy.air_time(tx.encoded.len());
+        let start = now - air;
+        // Sender returns to listening.
+        self.nodes[i].transmitting = false;
+        self.nodes[i].listen_since = now;
+        self.nodes[i].meter.set_radio_state(RadioState::Rx, now);
+        // Resolve deliveries.
+        let listeners = self.listeners_since(start, i);
+        let outcomes = self.medium.end_tx(handle, &listeners);
+        for (rx, ok) in outcomes {
+            if ok {
+                self.deliver_frame(rx.0, frame.clone(), now);
+            }
+        }
+        // Advance the transmit state machine.
+        let step = {
+            let tx = self.nodes[i].cur_tx.as_mut().unwrap();
+            tx.handle = None;
+            tx.process.on_tx_done()
+        };
+        self.handle_step(i, step, now);
+    }
+
+    fn on_ack_timeout(&mut self, i: usize, now: Instant) {
+        if self.nodes[i].cur_tx.is_none() {
+            return;
+        }
+        let step = {
+            let tx = self.nodes[i].cur_tx.as_mut().unwrap();
+            tx.process.on_ack_timeout(&mut self.rng)
+        };
+        self.nodes[i].counters.inc("link_retries");
+        self.handle_step(i, step, now);
+    }
+
+    fn finish_frame(&mut self, i: usize, ok: bool, now: Instant) {
+        let tx = self.nodes[i].cur_tx.take();
+        if let Some(tx) = tx {
+            if let Some(tok) = tx.timer {
+                self.queue.cancel(tok);
+            }
+            if !ok {
+                self.nodes[i].counters.inc("frames_dropped");
+                self.trace.record(
+                    now,
+                    self.nodes[i].id,
+                    crate::trace::TraceDir::Drop,
+                    format!(
+                        "link retries exhausted: {}",
+                        crate::trace::summarize_frame(&tx.frame)
+                    ),
+                );
+                // Losing one fragment loses the packet: discard the rest.
+                self.nodes[i].cur_packet_frames.clear();
+                if tx.frame.is_data_request() {
+                    // Poll failed; go back to sleep and retry later.
+                    self.nodes[i].polling = false;
+                }
+            } else {
+                self.nodes[i].counters.inc("frames_delivered");
+            }
+        }
+        self.kick_mac(i, now);
+        self.maybe_sleep(i, now);
+    }
+
+    // ------------------------------------------------------------------
+    // Frame reception
+    // ------------------------------------------------------------------
+
+    fn deliver_frame(&mut self, i: usize, frame: MacFrame, now: Instant) {
+        self.nodes[i].meter.add_cpu(self.cfg.cpu_per_frame);
+        if self.trace.is_enabled()
+            && (frame.dst == self.nodes[i].id || frame.frame_type == FrameType::Ack)
+        {
+            self.trace.record(
+                now,
+                self.nodes[i].id,
+                crate::trace::TraceDir::FrameRx,
+                crate::trace::summarize_frame(&frame),
+            );
+        }
+        match frame.frame_type {
+            FrameType::Ack => self.handle_link_ack(i, frame, now),
+            FrameType::Data | FrameType::Command => {
+                if frame.dst != self.nodes[i].id && frame.dst != lln_mac::frame::BROADCAST {
+                    return; // overheard someone else's frame
+                }
+                let dup = self.nodes[i].check_duplicate(frame.src, frame.seq);
+                if frame.ack_request {
+                    // Send the link ACK after turnaround. Pending bit:
+                    // for data requests, signal queued indirect data.
+                    let pending = frame.is_data_request()
+                        && self.nodes[i]
+                            .indirect
+                            .get(&frame.src)
+                            .is_some_and(|q| !q.is_empty());
+                    self.queue.schedule(
+                        now + self.cfg.phy.turnaround,
+                        Event::LinkAckStart(i, frame.seq, pending),
+                    );
+                }
+                if dup {
+                    self.nodes[i].counters.inc("dup_frames");
+                    return;
+                }
+                if frame.is_data_request() {
+                    self.handle_data_request(i, frame.src, now);
+                    return;
+                }
+                // Sleepy leaf: note downstream traffic and the pending
+                // bit for the poll window.
+                if self.nodes[i].kind == NodeKind::SleepyLeaf {
+                    self.nodes[i].poll_got_frame = true;
+                    if frame.pending {
+                        // More frames are on their way (the parent
+                        // drains its queue after one data request):
+                        // keep the radio on.
+                        self.extend_poll_window(i, now);
+                    } else {
+                        // Last queued packet: keep listening only long
+                        // enough for any remaining fragments (each
+                        // arrival refreshes this grace period).
+                        self.extend_poll_window_by(i, Duration::from_millis(15), now);
+                    }
+                }
+                // 6LoWPAN reassembly.
+                let done = self.nodes[i]
+                    .reassembler
+                    .offer(frame.src, &frame.payload, now);
+                if let Some(packet) = done {
+                    if let Some((hdr, payload)) =
+                        iphc::decompress(&packet, frame.src, frame.dst)
+                    {
+                        self.handle_ip_packet(i, hdr, payload, now);
+                    } else {
+                        self.nodes[i].counters.inc("decompress_errors");
+                    }
+                }
+                self.kick_mac(i, now);
+                self.maybe_sleep(i, now);
+            }
+        }
+    }
+
+    fn handle_link_ack(&mut self, i: usize, ack: MacFrame, now: Instant) {
+        let Some(tx) = self.nodes[i].cur_tx.as_mut() else {
+            return;
+        };
+        // Accept only when we are actually waiting for this ACK; a
+        // neighbour's ACK with a coincidentally equal sequence number
+        // must not complete our (unsent or in-flight) frame.
+        if tx.frame.seq != ack.seq || !tx.process.awaiting_ack() {
+            return;
+        }
+        if let Some(tok) = tx.timer.take() {
+            self.queue.cancel(tok);
+        }
+        let was_poll = tx.frame.is_data_request();
+        let step = tx.process.on_ack();
+        if was_poll && self.nodes[i].kind == NodeKind::SleepyLeaf {
+            self.nodes[i].polling = false;
+            if ack.pending {
+                // Stay awake to receive the indirect frame(s).
+                self.extend_poll_window(i, now);
+            } else {
+                // Nothing queued: close the listen window right away
+                // (keeps the poll exchange to a few milliseconds, the
+                // behaviour the paper's 0.1% idle duty cycle needs).
+                if let Some(tok) = self.nodes[i].poll_window.take() {
+                    self.queue.cancel(tok);
+                }
+            }
+        }
+        self.handle_step(i, step, now);
+    }
+
+    fn extend_poll_window(&mut self, i: usize, now: Instant) {
+        let w = self.cfg.poll_window;
+        self.extend_poll_window_by(i, w, now);
+    }
+
+    fn extend_poll_window_by(&mut self, i: usize, span: Duration, now: Instant) {
+        if let Some(tok) = self.nodes[i].poll_window.take() {
+            self.queue.cancel(tok);
+        }
+        let tok = self.queue.schedule(now + span, Event::PollWindowEnd(i));
+        self.nodes[i].poll_window = Some(tok);
+    }
+
+    fn on_link_ack_start(&mut self, i: usize, seq: u8, pending: bool, now: Instant) {
+        // Half-duplex: if we are mid-transmission, skip the ACK (the
+        // sender will retry).
+        if self.nodes[i].transmitting || !self.nodes[i].awake {
+            return;
+        }
+        let ack = MacFrame::ack(seq, pending);
+        let air = self.cfg.phy.ack_air_time();
+        let handle = self.medium.begin_tx(RadioIdx(i), now, now + air);
+        self.nodes[i].transmitting = true;
+        self.nodes[i].meter.set_radio_state(RadioState::Tx, now);
+        self.ack_handles.insert(i, (handle, ack, now));
+        self.queue.schedule(now + air, Event::LinkAckDone(i));
+    }
+
+    fn on_link_ack_done(&mut self, i: usize, now: Instant) {
+        let Some((handle, ack, start)) = self.ack_handles.remove(&i) else {
+            return;
+        };
+        self.nodes[i].transmitting = false;
+        self.nodes[i].listen_since = now;
+        self.nodes[i].meter.set_radio_state(RadioState::Rx, now);
+        let listeners = self.listeners_since(start, i);
+        let outcomes = self.medium.end_tx(handle, &listeners);
+        for (rx, ok) in outcomes {
+            if ok {
+                self.deliver_frame(rx.0, ack.clone(), now);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Data polling (sleepy leaves + parents)
+    // ------------------------------------------------------------------
+
+    fn on_poll_wake(&mut self, i: usize, now: Instant) {
+        self.nodes[i].poll_timer = None;
+        if self.nodes[i].kind != NodeKind::SleepyLeaf {
+            return;
+        }
+        self.wake(i, now);
+        self.nodes[i].polling = true;
+        let parent = self.nodes[i].routes.default_route;
+        let Some(parent) = parent else {
+            self.nodes[i].polling = false;
+            self.maybe_sleep(i, now);
+            return;
+        };
+        let seq = self.nodes[i].next_seq();
+        let id = self.nodes[i].id;
+        self.nodes[i]
+            .ctrl_queue
+            .push_back(MacFrame::data_request(id, parent, seq));
+        // Guard window in case the poll exchange stalls entirely.
+        self.extend_poll_window(i, now);
+        self.kick_mac(i, now);
+    }
+
+    fn on_poll_window_end(&mut self, i: usize, now: Instant) {
+        self.nodes[i].poll_window = None;
+        self.nodes[i].polling = false;
+        self.maybe_sleep(i, now);
+    }
+
+    fn handle_data_request(&mut self, i: usize, child: NodeId, now: Instant) {
+        // Appendix C enhancement: one data request drains the child's
+        // whole indirect queue. Every frame except those of the last
+        // packet carries the pending bit, so the child keeps listening
+        // for the burst.
+        let Some(queue) = self.nodes[i].indirect.get_mut(&child) else {
+            return;
+        };
+        let packets: Vec<OutPacket> = queue.drain(..).collect();
+        if packets.is_empty() {
+            return;
+        }
+        let src_l2 = self.nodes[i].id;
+        let last = packets.len() - 1;
+        for (k, pkt) in packets.into_iter().enumerate() {
+            let compressed = iphc::compress(&pkt.hdr, src_l2, child, &pkt.payload);
+            let tag = self.nodes[i].next_tag();
+            for frag in fragment(&compressed, tag, MAX_MAC_PAYLOAD) {
+                let seq = self.nodes[i].next_seq();
+                let mut f = MacFrame::data(src_l2, child, seq, frag.bytes);
+                f.pending = k < last;
+                self.nodes[i].ctrl_queue.push_back(f);
+            }
+        }
+        self.kick_mac(i, now);
+    }
+
+    // ------------------------------------------------------------------
+    // IP layer
+    // ------------------------------------------------------------------
+
+    /// Queues a locally-originated or forwarded packet.
+    fn enqueue_ip(&mut self, i: usize, hdr: Ipv6Header, payload: Vec<u8>, now: Instant) {
+        // Cloud host: everything goes over the wire to the border.
+        if self.nodes[i].kind == NodeKind::CloudHost {
+            if let Some(b) = self.border {
+                self.queue.schedule(
+                    now + self.cfg.wired_latency,
+                    Event::WiredDeliver(b, hdr, payload),
+                );
+            }
+            return;
+        }
+        // Border router: cloud-prefix destinations go over the wire.
+        if self.nodes[i].kind == NodeKind::BorderRouter && !hdr.dst.is_mesh_local() {
+            if let Some(c) = self.cloud {
+                self.queue.schedule(
+                    now + self.cfg.wired_latency,
+                    Event::WiredDeliver(c, hdr, payload),
+                );
+            }
+            return;
+        }
+        // Mesh: route by the destination's node id; off-mesh packets go
+        // toward the border router.
+        let dst_node = if hdr.dst.is_mesh_local() {
+            hdr.dst.node_id()
+        } else {
+            self.border.map(|b| NodeId(b as u16))
+        };
+        let Some(dst_node) = dst_node else {
+            self.nodes[i].counters.inc("unroutable");
+            return;
+        };
+        let Some(next_hop) = self.nodes[i].routes.lookup(dst_node) else {
+            self.nodes[i].counters.inc("unroutable");
+            return;
+        };
+        let pkt = OutPacket {
+            hdr,
+            payload,
+            next_hop,
+        };
+        // Indirect queueing for sleepy children.
+        if self.nodes[i].sleepy_children.contains(&next_hop) {
+            let q = self.nodes[i].indirect.entry(next_hop).or_default();
+            if q.len() >= 16 {
+                self.nodes[i].counters.inc("indirect_drops");
+            } else {
+                q.push_back(pkt);
+            }
+            return;
+        }
+        let r = self.rng.gen_f64();
+        if !self.nodes[i].ip_queue.offer(pkt, r) {
+            self.nodes[i].counters.inc("queue_drops");
+        }
+        self.kick_mac(i, now);
+    }
+
+    /// A full IP packet arrived at node `i` (radio or wired).
+    fn handle_ip_packet(
+        &mut self,
+        i: usize,
+        mut hdr: Ipv6Header,
+        payload: Vec<u8>,
+        now: Instant,
+    ) {
+        if hdr.dst == self.nodes[i].ip_addr() {
+            if self.trace.is_enabled() {
+                self.trace.record(
+                    now,
+                    self.nodes[i].id,
+                    crate::trace::TraceDir::Deliver,
+                    crate::trace::summarize_packet(&hdr, &payload),
+                );
+            }
+            self.deliver_transport(i, hdr, payload, now);
+            return;
+        }
+        // Forwarding.
+        if hdr.hop_limit <= 1 {
+            self.nodes[i].counters.inc("hop_limit_drops");
+            self.trace.record(
+                now,
+                self.nodes[i].id,
+                crate::trace::TraceDir::Drop,
+                "hop limit exhausted",
+            );
+            return;
+        }
+        hdr.hop_limit -= 1;
+        // Injected uniform loss (§9.4; configured on the border router).
+        if self.nodes[i].inject_loss > 0.0 && self.rng.gen_bool(self.nodes[i].inject_loss) {
+            self.nodes[i].counters.inc("injected_drops");
+            self.trace.record(
+                now,
+                self.nodes[i].id,
+                crate::trace::TraceDir::Drop,
+                "injected loss",
+            );
+            return;
+        }
+        self.nodes[i].counters.inc("forwarded");
+        if self.trace.is_enabled() {
+            self.trace.record(
+                now,
+                self.nodes[i].id,
+                crate::trace::TraceDir::Forward,
+                crate::trace::summarize_packet(&hdr, &payload),
+            );
+        }
+        self.enqueue_ip(i, hdr, payload, now);
+    }
+
+    // ------------------------------------------------------------------
+    // Transport layer
+    // ------------------------------------------------------------------
+
+    fn deliver_transport(&mut self, i: usize, hdr: Ipv6Header, payload: Vec<u8>, now: Instant) {
+        self.nodes[i].meter.add_cpu(self.cfg.cpu_per_segment);
+        match hdr.next_header {
+            NextHeader::Tcp => self.deliver_tcp(i, &hdr, &payload, now),
+            NextHeader::Udp => self.deliver_udp(i, &hdr, &payload, now),
+            NextHeader::Other(_) => {
+                self.nodes[i].counters.inc("unknown_proto");
+            }
+        }
+        self.pump_transport(i, now);
+    }
+
+    fn deliver_tcp(&mut self, i: usize, hdr: &Ipv6Header, payload: &[u8], now: Instant) {
+        let Some(seg) = Segment::decode(hdr.src, hdr.dst, payload) else {
+            self.nodes[i].counters.inc("tcp_checksum_drops");
+            return;
+        };
+        let ecn = hdr.ecn;
+        // Match an existing socket.
+        let found = self.nodes[i].transport.tcp.iter_mut().find(|s| {
+            let (raddr, rport) = s.remote();
+            raddr == hdr.src && rport == seg.src_port && s.local().1 == seg.dst_port
+        });
+        if let Some(sock) = found {
+            sock.tick(now);
+            sock.on_segment(&seg, ecn, now);
+            return;
+        }
+        // Listener?
+        let accepted = self.nodes[i].transport.tcp_listener.as_ref().and_then(|l| {
+            if l.port() == seg.dst_port {
+                let iss = self.rng.next_u64() as u32;
+                l.on_segment(hdr.src, &seg, iss, now)
+            } else {
+                None
+            }
+        });
+        if let Some(sock) = accepted {
+            self.nodes[i].transport.tcp.push(sock);
+            return;
+        }
+        // uIP socket?
+        if let Some(u) = self.nodes[i].transport.uip.as_mut() {
+            let (raddr, rport) = u.remote();
+            if raddr == hdr.src && rport == seg.src_port && u.local().1 == seg.dst_port {
+                u.on_segment(&seg, now);
+                return;
+            }
+        }
+        // No socket: RST.
+        if let Some(rst) = tcplp::reset_for(&seg) {
+            let out_hdr = Ipv6Header::new(
+                hdr.dst,
+                hdr.src,
+                NextHeader::Tcp,
+                rst.wire_len() as u16,
+            );
+            let bytes = rst.encode(hdr.dst, hdr.src);
+            self.enqueue_ip(i, out_hdr, bytes, now);
+        }
+    }
+
+    fn deliver_udp(&mut self, i: usize, hdr: &Ipv6Header, payload: &[u8], now: Instant) {
+        let Some((udp, body)) = UdpHeader::decode_datagram(hdr.src, hdr.dst, payload) else {
+            self.nodes[i].counters.inc("udp_checksum_drops");
+            return;
+        };
+        if udp.dst_port == COAP_PORT {
+            // Server side.
+            let response = self.nodes[i]
+                .transport
+                .coap_server
+                .as_mut()
+                .and_then(|s| s.on_datagram_from(hdr.src, body, now));
+            if let Some(resp) = response {
+                let dg = UdpHeader::encode_datagram(
+                    hdr.dst,
+                    hdr.src,
+                    COAP_PORT,
+                    udp.src_port,
+                    &resp,
+                );
+                let out_hdr =
+                    Ipv6Header::new(hdr.dst, hdr.src, NextHeader::Udp, dg.len() as u16);
+                self.enqueue_ip(i, out_hdr, dg, now);
+            }
+        } else if let Some(c) = self.nodes[i].transport.coap_client.as_mut() {
+            c.on_datagram(body, now);
+        }
+    }
+
+    /// Pumps every transport on node `i`: applications feed sockets,
+    /// sockets emit segments, timers are rescheduled.
+    pub fn pump_transport(&mut self, i: usize, now: Instant) {
+        self.app_feed(i, now);
+        // Drain sinks before polling sockets so window-update ACKs
+        // (generated by `recv`) ride out in this pump.
+        self.app_drain(i, now);
+
+        // TCP sockets.
+        let my_addr = self.nodes[i].ip_addr();
+        let mut out: Vec<(Ipv6Header, Vec<u8>)> = Vec::new();
+        for s in self.nodes[i].transport.tcp.iter_mut() {
+            s.tick(now);
+            if s.poll_at().is_some_and(|t| t <= now) {
+                s.on_timer(now);
+            }
+            let ecn_data = s.ecn_active();
+            while let Some(seg) = s.poll_transmit(now) {
+                let (raddr, _) = s.remote();
+                let mut hdr =
+                    Ipv6Header::new(my_addr, raddr, NextHeader::Tcp, seg.wire_len() as u16);
+                if ecn_data && !seg.payload.is_empty() {
+                    hdr.ecn = Ecn::Ect0;
+                }
+                let bytes = seg.encode(my_addr, raddr);
+                out.push((hdr, bytes));
+            }
+        }
+        // uIP socket.
+        if let Some(u) = self.nodes[i].transport.uip.as_mut() {
+            if u.poll_at().is_some_and(|t| t <= now) {
+                u.on_timer(now);
+            }
+            while let Some(seg) = u.poll_transmit(now) {
+                let (raddr, _) = u.remote();
+                let hdr =
+                    Ipv6Header::new(my_addr, raddr, NextHeader::Tcp, seg.wire_len() as u16);
+                let bytes = seg.encode(my_addr, raddr);
+                out.push((hdr, bytes));
+            }
+        }
+        // CoAP client.
+        if self.nodes[i].transport.coap_client.is_some() {
+            let cloud_addr = self.cloud.map(|c| self.nodes[c].ip_addr());
+            let c = self.nodes[i].transport.coap_client.as_mut().unwrap();
+            if c.poll_at().is_some_and(|t| t <= now) {
+                if let Some(re) = c.on_timer(now) {
+                    if let Some(dst) = cloud_addr {
+                        let dg =
+                            UdpHeader::encode_datagram(my_addr, dst, 49001, COAP_PORT, &re);
+                        let hdr =
+                            Ipv6Header::new(my_addr, dst, NextHeader::Udp, dg.len() as u16);
+                        out.push((hdr, dg));
+                    }
+                }
+            }
+            while let Some(msg) = c.poll_transmit(now, &mut self.rng) {
+                if let Some(dst) = cloud_addr {
+                    let dg = UdpHeader::encode_datagram(my_addr, dst, 49001, COAP_PORT, &msg);
+                    let hdr = Ipv6Header::new(my_addr, dst, NextHeader::Udp, dg.len() as u16);
+                    out.push((hdr, dg));
+                }
+            }
+        }
+        for (hdr, bytes) in out {
+            self.enqueue_ip(i, hdr, bytes, now);
+        }
+        self.reschedule_transport_timer(i, now);
+        self.kick_mac(i, now);
+        // Sleepy leaves expecting a response poll fast (§9.2).
+        self.adjust_fast_poll(i, now);
+        self.maybe_sleep(i, now);
+    }
+
+    fn adjust_fast_poll(&mut self, i: usize, now: Instant) {
+        if self.nodes[i].kind != NodeKind::SleepyLeaf || self.nodes[i].awake {
+            return;
+        }
+        let expecting = self.nodes[i].expecting_response();
+        if !expecting {
+            return;
+        }
+        if let Some(poll) = self.nodes[i].poll.as_mut() {
+            poll.set_expecting_response(true);
+            let fast = poll.next_delay(false);
+            if let Some(tok) = self.nodes[i].poll_timer.take() {
+                self.queue.cancel(tok);
+            }
+            let tok = self.queue.schedule(now + fast, Event::PollWake(i));
+            self.nodes[i].poll_timer = Some(tok);
+        }
+    }
+
+    fn reschedule_transport_timer(&mut self, i: usize, now: Instant) {
+        let mut next: Option<Instant> = None;
+        for s in &self.nodes[i].transport.tcp {
+            if let Some(t) = s.poll_at() {
+                next = Some(next.map_or(t, |cur: Instant| cur.min(t)));
+            }
+        }
+        if let Some(u) = &self.nodes[i].transport.uip {
+            if let Some(t) = u.poll_at() {
+                next = Some(next.map_or(t, |cur: Instant| cur.min(t)));
+            }
+        }
+        if let Some(c) = &self.nodes[i].transport.coap_client {
+            if let Some(t) = c.poll_at() {
+                next = Some(next.map_or(t, |cur: Instant| cur.min(t)));
+            }
+        }
+        if let Some(tok) = self.nodes[i].transport_timer.take() {
+            self.queue.cancel(tok);
+        }
+        if let Some(t) = next {
+            let t = t.max(now);
+            let tok = self.queue.schedule(t, Event::TransportTimer(i));
+            self.nodes[i].transport_timer = Some(tok);
+        }
+    }
+
+    fn on_transport_timer(&mut self, i: usize, now: Instant) {
+        self.nodes[i].transport_timer = None;
+        self.pump_transport(i, now);
+    }
+
+    // ------------------------------------------------------------------
+    // Applications
+    // ------------------------------------------------------------------
+
+    /// Feed phase: sources push data into their sockets.
+    fn app_feed(&mut self, i: usize, _now: Instant) {
+        let node = &mut self.nodes[i];
+        match &mut node.app {
+            App::BulkSender {
+                limit,
+                sent,
+                pattern,
+            } => {
+                if let Some(sock) = node.transport.tcp.first_mut() {
+                    let room = sock.send_capacity();
+                    let want = match limit {
+                        Some(l) => (*l - *sent).min(room as u64) as usize,
+                        None => room,
+                    };
+                    if want > 0 {
+                        let chunk: Vec<u8> = (0..want)
+                            .map(|k| {
+                                (*pattern as usize + k) as u8
+                            })
+                            .collect();
+                        let n = sock.send(&chunk);
+                        *sent += n as u64;
+                        *pattern = pattern.wrapping_add(n as u8);
+                    }
+                }
+                if let Some(u) = node.transport.uip.as_mut() {
+                    let chunk = [0x5au8; 256];
+                    let mut pushed = u.send(&chunk);
+                    while pushed > 0 {
+                        if let Some(l) = limit {
+                            *sent += pushed as u64;
+                            if *sent >= *l {
+                                break;
+                            }
+                        }
+                        pushed = u.send(&chunk);
+                    }
+                }
+            }
+            App::Anemometer(app)
+                if app.draining_allowed(app.draining) => {
+                    app.draining = true;
+                    // TCP path: push readings into the stream.
+                    if let Some(sock) = node.transport.tcp.first_mut() {
+                        while sock.send_capacity() >= READING_BYTES {
+                            let Some(r) = app.pop_reading() else { break };
+                            sock.send(&r);
+                        }
+                    }
+                    // CoAP path: pack ~5 readings per message (five
+                    // frames, like TCP segments, §9.3).
+                    if let Some(c) = node.transport.coap_client.as_mut() {
+                        let per_msg = if app.batch.is_some() { 5 } else { 1 };
+                        while app.queue.len() >= per_msg
+                            || (!app.queue.is_empty() && app.batch.is_none())
+                        {
+                            if c.backlog() >= 24 {
+                                break;
+                            }
+                            let mut payload = Vec::new();
+                            for _ in 0..per_msg.min(app.queue.len()) {
+                                payload.extend_from_slice(&app.pop_reading().unwrap());
+                            }
+                            let more = !app.queue.is_empty();
+                            let n = (app.submitted / per_msg as u64) as u32;
+                            c.post_block(payload, n, more);
+                        }
+                    }
+                    if app.queue.is_empty() {
+                        app.draining = false;
+                    }
+                }
+            _ => {}
+        }
+    }
+
+    /// Drain phase: sinks consume delivered data.
+    fn app_drain(&mut self, i: usize, now: Instant) {
+        let node = &mut self.nodes[i];
+        if let App::Sink {
+            received,
+            first_byte,
+            last_byte,
+        } = &mut node.app
+        {
+            let mut buf = [0u8; 2048];
+            for s in node.transport.tcp.iter_mut() {
+                loop {
+                    let n = s.recv(&mut buf);
+                    if n == 0 {
+                        break;
+                    }
+                    *received += n as u64;
+                    if first_byte.is_none() {
+                        *first_byte = Some(now);
+                    }
+                    *last_byte = Some(now);
+                }
+            }
+        }
+    }
+
+    fn on_app_tick(&mut self, i: usize, now: Instant) {
+        let interval = if let App::Anemometer(app) = &mut self.nodes[i].app {
+            app.generate_reading();
+            Some(app.interval)
+        } else {
+            None
+        };
+        if let Some(iv) = interval {
+            self.queue.schedule(now + iv, Event::AppTick(i));
+        }
+        self.pump_transport(i, now);
+    }
+
+    // ------------------------------------------------------------------
+    // Interference
+    // ------------------------------------------------------------------
+
+    fn on_interferer_start(&mut self, i: usize, now: Instant) {
+        let App::Interferer(app) = &self.nodes[i].app else {
+            return;
+        };
+        let burst = app.burst;
+        let handle = self.medium.begin_tx(RadioIdx(i), now, now + burst);
+        self.interferer_handles.insert(i, (handle, now));
+        self.queue.schedule(now + burst, Event::InterfererEnd(i));
+    }
+
+    fn on_interferer_end(&mut self, i: usize, now: Instant) {
+        if let Some((handle, _)) = self.interferer_handles.remove(&i) {
+            // Interference is noise: nobody decodes it.
+            self.medium.end_tx(handle, &[]);
+        }
+        let App::Interferer(app) = &self.nodes[i].app else {
+            return;
+        };
+        let gap = app.next_gap(now, &mut self.rng);
+        self.queue
+            .schedule(now + gap, Event::InterfererStart(i));
+    }
+}

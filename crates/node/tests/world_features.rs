@@ -1,0 +1,237 @@
+//! Feature-level tests of the simulation world: RED/ECN end to end,
+//! interference effects, stray-segment RST handling, adaptive polling,
+//! and energy accounting sanity.
+
+use lln_node::app::InterfererApp;
+use lln_node::route::Topology;
+use lln_node::stack::{IpQueue, NodeKind};
+use lln_node::world::{World, WorldConfig};
+use lln_phy::{LinkMatrix, RadioIdx};
+use lln_sim::{Duration, Instant};
+use tcplp::{TcpConfig, TcpState};
+
+#[test]
+fn red_ecn_marks_instead_of_dropping() {
+    // 3-hop chain with RED+ECN relays and ECN-negotiating endpoints:
+    // the sender must take ECE reductions, and relay queues must mark.
+    let topo = Topology::chain(4, 0.999);
+    let mut world = World::new(
+        &topo,
+        &[
+            NodeKind::Router,
+            NodeKind::Router,
+            NodeKind::Router,
+            NodeKind::Router,
+        ],
+        WorldConfig::default(),
+    );
+    for i in 0..4 {
+        world.nodes[i].use_red_queue(lln_netip::RedConfig {
+            min_th: 1.0,
+            max_th: 4.0,
+            ..lln_netip::RedConfig::default()
+        });
+    }
+    let mut tcp = TcpConfig::with_window_segments(462, 7);
+    tcp.use_ecn = true;
+    world.add_tcp_listener(0, tcp.clone());
+    world.set_sink(0);
+    let si = world.add_tcp_client(3, 0, tcp, Instant::from_millis(10));
+    world.set_bulk_sender(3, Some(300_000));
+    world.run_for(Duration::from_secs(240));
+    // Aggressive RED marking halves cwnd repeatedly, slowing the flow
+    // (that's its job); the transfer must still make solid progress
+    // without data loss at the application.
+    assert!(
+        world.nodes[0].app.sink_received() >= 250_000,
+        "delivered {}",
+        world.nodes[0].app.sink_received()
+    );
+    let sender = &world.nodes[3].transport.tcp[si];
+    assert!(sender.ecn_active(), "ECN negotiated end to end");
+    // Relay queues must have CE-marked something with a 7-segment
+    // window pushing through a B/3 bottleneck.
+    let marks: u64 = (0..4)
+        .map(|i| match &world.nodes[i].ip_queue {
+            IpQueue::Red(q) => q.marks(),
+            IpQueue::Fifo(_) => 0,
+        })
+        .sum();
+    assert!(marks > 0, "RED must CE-mark under congestion");
+    assert!(
+        sender.stats.ecn_reductions > 0,
+        "sender must respond to ECE echoes: {:?}",
+        sender.stats
+    );
+}
+
+#[test]
+fn interference_degrades_throughput() {
+    let run = |with_interferer: bool| {
+        let mut links = LinkMatrix::chain(2, 0.999);
+        // Extend matrix with the interferer radio.
+        let mut big = LinkMatrix::new(3);
+        big.set_symmetric(RadioIdx(0), RadioIdx(1), 0.999);
+        big.set_interference(RadioIdx(2), RadioIdx(0));
+        big.set_interference(RadioIdx(2), RadioIdx(1));
+        links = big;
+        let topo = Topology::with_shortest_paths(links);
+        let mut world = World::new(
+            &topo,
+            &[NodeKind::Router, NodeKind::Router, NodeKind::Interferer],
+            WorldConfig::default(),
+        );
+        world.add_tcp_listener(0, TcpConfig::default());
+        world.set_sink(0);
+        world.add_tcp_client(1, 0, TcpConfig::default(), Instant::from_millis(10));
+        world.set_bulk_sender(1, Some(300_000));
+        if with_interferer {
+            let mut app = InterfererApp::office();
+            app.day_occupancy = 0.4;
+            app.night_occupancy = 0.4;
+            world.start_interferer(2, app, Instant::from_millis(5));
+        }
+        world.run_for(Duration::from_secs(60));
+        world.nodes[0].app.sink_goodput_bps()
+    };
+    let clean = run(false);
+    let jammed = run(true);
+    assert!(
+        jammed < 0.8 * clean,
+        "40% channel occupancy must cost throughput: clean {clean:.0}, jammed {jammed:.0}"
+    );
+    assert!(jammed > 0.0, "but not kill the flow");
+}
+
+#[test]
+fn stray_segment_gets_rst() {
+    // A client connects to a node with no listener: the connection
+    // attempt must be reset, not time out.
+    let topo = Topology::pair(0.999);
+    let mut world = World::new(
+        &topo,
+        &[NodeKind::Router, NodeKind::Router],
+        WorldConfig::default(),
+    );
+    // No listener on node 0!
+    world.add_tcp_client(1, 0, TcpConfig::default(), Instant::from_millis(10));
+    world.run_for(Duration::from_secs(10));
+    let client = &world.nodes[1].transport.tcp[0];
+    assert_eq!(client.state(), TcpState::Closed);
+    assert_eq!(
+        client.close_reason(),
+        Some(tcplp::CloseReason::Reset),
+        "refused by RST, not by retry exhaustion"
+    );
+}
+
+#[test]
+fn adaptive_poll_mode_duty_cycle_profile() {
+    // Idle adaptive leaf: duty cycle far below the fixed-100ms regime.
+    let run = |mode: lln_mac::poll::PollMode| {
+        let topo = Topology::pair(0.999);
+        let mut world = World::new(
+            &topo,
+            &[NodeKind::Router, NodeKind::SleepyLeaf],
+            WorldConfig::default(),
+        );
+        world.set_poll_mode(1, mode);
+        world.schedule_poll(1, Instant::from_millis(5));
+        world.run_for(Duration::from_secs(300));
+        let now = world.now();
+        world.nodes[1].meter.radio_duty_cycle(now)
+    };
+    let adaptive = run(lln_mac::poll::PollMode::paper_adaptive());
+    let fast_fixed = run(lln_mac::poll::PollMode::Adaptive {
+        smin: Duration::from_millis(100),
+        smax: Duration::from_millis(100),
+    });
+    assert!(
+        adaptive < fast_fixed / 5.0,
+        "adaptive idle ({adaptive:.4}) must be far below 100ms fixed ({fast_fixed:.4})"
+    );
+    assert!(adaptive < 0.005, "idle adaptive duty cycle ~0.1%: {adaptive:.4}");
+}
+
+#[test]
+fn energy_meter_tracks_transfer_phases() {
+    let topo = Topology::pair(0.999);
+    let mut world = World::new(
+        &topo,
+        &[NodeKind::Router, NodeKind::Router],
+        WorldConfig::default(),
+    );
+    world.add_tcp_listener(0, TcpConfig::default());
+    world.set_sink(0);
+    world.add_tcp_client(1, 0, TcpConfig::default(), Instant::from_millis(10));
+    world.set_bulk_sender(1, Some(100_000));
+    world.run_for(Duration::from_secs(60));
+    let now = world.now();
+    let (sleep, rx, tx) = world.nodes[1].meter.radio_times(now);
+    assert_eq!(sleep, Duration::ZERO, "routers never sleep");
+    assert!(tx > Duration::ZERO, "sender transmitted");
+    assert!(rx > tx, "even a sender listens more than it talks");
+    let cpu = world.nodes[1].meter.cpu_duty_cycle(now);
+    assert!(cpu > 0.0 && cpu < 0.5, "cpu duty cycle sane: {cpu}");
+}
+
+#[test]
+fn two_tcp_clients_on_one_node_multiplex() {
+    // Two sockets from node 2 to the same listener: port-based demux.
+    let topo = Topology::chain(3, 0.999);
+    let mut world = World::new(
+        &topo,
+        &[NodeKind::Router, NodeKind::Router, NodeKind::Router],
+        WorldConfig::default(),
+    );
+    world.add_tcp_listener(0, TcpConfig::default());
+    world.set_sink(0);
+    let s1 = world.add_tcp_client(2, 0, TcpConfig::default(), Instant::from_millis(10));
+    let s2 = world.add_tcp_client(2, 0, TcpConfig::default(), Instant::from_millis(20));
+    world.run_for(Duration::from_secs(10));
+    let a = &world.nodes[2].transport.tcp[s1];
+    let b = &world.nodes[2].transport.tcp[s2];
+    assert_eq!(a.state(), TcpState::Established);
+    assert_eq!(b.state(), TcpState::Established);
+    assert_ne!(a.local().1, b.local().1, "distinct local ports");
+    assert_eq!(
+        world.nodes[0].transport.tcp.len(),
+        2,
+        "server accepted both connections"
+    );
+}
+
+#[test]
+fn packet_trace_captures_a_transfer() {
+    let topo = Topology::chain(3, 0.999);
+    let mut world = World::new(
+        &topo,
+        &[NodeKind::Router, NodeKind::Router, NodeKind::Router],
+        WorldConfig::default(),
+    );
+    world.enable_trace(50_000);
+    world.add_tcp_listener(0, TcpConfig::default());
+    world.set_sink(0);
+    world.add_tcp_client(2, 0, TcpConfig::default(), Instant::from_millis(10));
+    world.set_bulk_sender(2, Some(5_000));
+    world.run_for(Duration::from_secs(20));
+    assert_eq!(world.nodes[0].app.sink_received(), 5_000);
+
+    let dump = world.trace.dump();
+    // The trace must show the handshake, data, forwarding at the relay
+    // and link-layer activity.
+    assert!(dump.contains("SYN"), "handshake visible:\n{}", &dump[..800.min(dump.len())]);
+    assert!(dump.contains("802.15.4 DATA"), "frames visible");
+    assert!(dump.contains("forward"), "relay forwarding visible");
+    assert!(dump.contains("deliver"), "final delivery visible");
+    assert!(dump.contains("ACK seq="), "link ACKs visible");
+    // The relay (node 1) both receives and transmits.
+    use lln_node::trace::TraceDir;
+    use lln_netip::NodeId;
+    let relay_tx = world
+        .trace
+        .for_node(NodeId(1))
+        .filter(|e| e.dir == TraceDir::FrameTx)
+        .count();
+    assert!(relay_tx > 0, "relay transmitted frames");
+}

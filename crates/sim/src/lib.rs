@@ -1,0 +1,29 @@
+//! `lln-sim` — deterministic discrete-event simulation kernel.
+//!
+//! This crate provides the time base, pseudo-random number generator,
+//! event queue, and measurement utilities shared by every layer of the
+//! reproduced TCPlp system. Everything is deterministic: given the same
+//! seed and the same sequence of scheduled events, a simulation replays
+//! bit-for-bit. There is no wall-clock access anywhere.
+//!
+//! Modules:
+//! - [`time`]: microsecond-resolution [`time::Instant`] / [`time::Duration`].
+//! - [`rng`]: seedable xoshiro256** generator (self-contained, so results
+//!   do not shift when the `rand` crate revs).
+//! - [`queue`]: a generic monotonic event queue with deterministic
+//!   tie-breaking.
+//! - [`stats`]: running statistics, percentiles and fixed-bin histograms
+//!   used to report the paper's figures.
+//! - [`trace`]: time-series recording (e.g. the cwnd trace of Figure 7a).
+
+pub mod queue;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod trace;
+
+pub use queue::{EventQueue, EventToken};
+pub use rng::Rng;
+pub use stats::{Counters, Histogram, Summary};
+pub use time::{Duration, Instant};
+pub use trace::Series;

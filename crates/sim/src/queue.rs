@@ -1,0 +1,219 @@
+//! A deterministic discrete-event queue.
+//!
+//! Events are ordered by `(time, insertion sequence)`: ties in simulated
+//! time are broken by insertion order, which keeps runs reproducible
+//! regardless of heap internals. Events can be cancelled by token.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::Instant;
+
+/// Token identifying a scheduled event, usable for cancellation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct EventToken(u64);
+
+struct Entry<E> {
+    time: Instant,
+    seq: u64,
+    event: Option<E>,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// A monotonic event queue: events may only be scheduled at or after the
+/// time of the most recently popped event.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    seq: u64,
+    now: Instant,
+    pending: std::collections::HashSet<u64>,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with `now == Instant::ZERO`.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: Instant::ZERO,
+            pending: std::collections::HashSet::new(),
+        }
+    }
+
+    /// Current simulated time (time of the last popped event).
+    pub fn now(&self) -> Instant {
+        self.now
+    }
+
+    /// Number of pending (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Schedules `event` at absolute time `at` (clamped to `now`).
+    /// Returns a token that can later cancel the event.
+    pub fn schedule(&mut self, at: Instant, event: E) -> EventToken {
+        let at = if at < self.now { self.now } else { at };
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Entry {
+            time: at,
+            seq,
+            event: Some(event),
+        }));
+        self.pending.insert(seq);
+        EventToken(seq)
+    }
+
+    /// Cancels a previously scheduled event. Returns true if the event
+    /// was still pending (not yet fired and not already cancelled).
+    pub fn cancel(&mut self, token: EventToken) -> bool {
+        self.pending.remove(&token.0)
+    }
+
+    /// Pops the next pending event, advancing `now`.
+    pub fn pop(&mut self) -> Option<(Instant, E)> {
+        while let Some(Reverse(mut entry)) = self.heap.pop() {
+            if !self.pending.remove(&entry.seq) {
+                continue; // cancelled
+            }
+            self.now = entry.time;
+            let ev = entry.event.take().expect("event present");
+            return Some((entry.time, ev));
+        }
+        None
+    }
+
+    /// Time of the next pending event, if any.
+    pub fn peek_time(&mut self) -> Option<Instant> {
+        while let Some(Reverse(entry)) = self.heap.peek() {
+            if !self.pending.contains(&entry.seq) {
+                self.heap.pop();
+                continue;
+            }
+            return Some(entry.time);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Duration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Instant::from_millis(30), "c");
+        q.schedule(Instant::from_millis(10), "a");
+        q.schedule(Instant::from_millis(20), "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = Instant::from_millis(5);
+        for name in ["first", "second", "third"] {
+            q.schedule(t, name);
+        }
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, ["first", "second", "third"]);
+    }
+
+    #[test]
+    fn now_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(Instant::from_secs(2), ());
+        assert_eq!(q.now(), Instant::ZERO);
+        q.pop();
+        assert_eq!(q.now(), Instant::from_secs(2));
+    }
+
+    #[test]
+    fn past_events_clamp_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule(Instant::from_secs(1), 1);
+        q.pop();
+        // Scheduling in the past is clamped to now rather than rewinding.
+        q.schedule(Instant::ZERO, 2);
+        let (t, e) = q.pop().unwrap();
+        assert_eq!(e, 2);
+        assert_eq!(t, Instant::from_secs(1));
+    }
+
+    #[test]
+    fn cancel_removes_event() {
+        let mut q = EventQueue::new();
+        let tok = q.schedule(Instant::from_millis(1), "x");
+        q.schedule(Instant::from_millis(2), "y");
+        assert!(q.cancel(tok));
+        assert!(!q.cancel(tok), "double-cancel must return false");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop().unwrap().1, "y");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let tok = q.schedule(Instant::from_millis(1), "x");
+        q.schedule(Instant::from_millis(5), "y");
+        q.cancel(tok);
+        assert_eq!(q.peek_time(), Some(Instant::from_millis(5)));
+    }
+
+    #[test]
+    fn len_tracks_live_events() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        let a = q.schedule(Instant::from_millis(1), 1);
+        q.schedule(Instant::from_millis(2), 2);
+        assert_eq!(q.len(), 2);
+        q.cancel(a);
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(Instant::from_millis(10), 1u32);
+        let (t, v) = q.pop().unwrap();
+        assert_eq!((t, v), (Instant::from_millis(10), 1));
+        q.schedule(t + Duration::from_millis(5), 2);
+        q.schedule(t + Duration::from_millis(1), 3);
+        assert_eq!(q.pop().unwrap().1, 3);
+        assert_eq!(q.pop().unwrap().1, 2);
+    }
+}

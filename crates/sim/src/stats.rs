@@ -1,0 +1,291 @@
+//! Measurement utilities: summaries, percentiles and histograms.
+//!
+//! Every experiment binary in `lln-bench` reports through these types so
+//! that the regenerated tables and figures are computed uniformly.
+
+/// Collects samples and reports count/mean/min/max/percentiles.
+#[derive(Clone, Debug, Default)]
+pub struct Summary {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one sample.
+    pub fn add(&mut self, v: f64) {
+        self.samples.push(v);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Arithmetic mean; 0 for an empty summary.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Sample standard deviation; 0 with fewer than two samples.
+    pub fn stddev(&self) -> f64 {
+        let n = self.samples.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let m = self.mean();
+        let var = self.samples.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (n - 1) as f64;
+        var.sqrt()
+    }
+
+    /// Smallest sample; 0 if empty.
+    pub fn min(&self) -> f64 {
+        self.samples.iter().copied().fold(f64::INFINITY, f64::min).min(f64::INFINITY).pipe_finite()
+    }
+
+    /// Largest sample; 0 if empty.
+    pub fn max(&self) -> f64 {
+        self.samples.iter().copied().fold(f64::NEG_INFINITY, f64::max).pipe_finite()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            self.sorted = true;
+        }
+    }
+
+    /// Percentile in `[0, 100]` using nearest-rank; 0 if empty.
+    pub fn percentile(&mut self, p: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        let n = self.samples.len();
+        let rank = ((p / 100.0) * n as f64).ceil() as usize;
+        self.samples[rank.clamp(1, n) - 1]
+    }
+
+    /// Median (50th percentile).
+    pub fn median(&mut self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// Access to the raw samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+}
+
+trait PipeFinite {
+    fn pipe_finite(self) -> f64;
+}
+impl PipeFinite for f64 {
+    fn pipe_finite(self) -> f64 {
+        if self.is_finite() {
+            self
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Fixed-bin histogram over `[lo, hi)`; out-of-range samples clamp to the
+/// end bins. Used to report RTT distributions (Figures 13 and 14).
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    count: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `nbins` equal bins spanning `[lo, hi)`.
+    pub fn new(lo: f64, hi: f64, nbins: usize) -> Self {
+        assert!(hi > lo && nbins > 0);
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; nbins],
+            count: 0,
+        }
+    }
+
+    /// Adds a sample (clamped into range).
+    pub fn add(&mut self, v: f64) {
+        let frac = (v - self.lo) / (self.hi - self.lo);
+        let idx = ((frac * self.bins.len() as f64) as isize)
+            .clamp(0, self.bins.len() as isize - 1) as usize;
+        self.bins[idx] += 1;
+        self.count += 1;
+    }
+
+    /// Total number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Iterator over `(bin_center, count)`.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        self.bins
+            .iter()
+            .enumerate()
+            .map(move |(i, &c)| (self.lo + width * (i as f64 + 0.5), c))
+    }
+
+    /// Fraction of samples at or below `v`.
+    pub fn cdf_at(&self, v: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let mut acc = 0u64;
+        for (center, c) in self.iter() {
+            if center <= v {
+                acc += c;
+            }
+        }
+        acc as f64 / self.count as f64
+    }
+}
+
+/// A monotonically accumulating counter set, keyed by static names.
+/// Layers use this for frame/segment/drop accounting (Figure 6d).
+#[derive(Clone, Debug, Default)]
+pub struct Counters {
+    inner: std::collections::BTreeMap<&'static str, u64>,
+}
+
+impl Counters {
+    /// Creates an empty counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to counter `name`.
+    pub fn add(&mut self, name: &'static str, n: u64) {
+        *self.inner.entry(name).or_insert(0) += n;
+    }
+
+    /// Increments counter `name` by one.
+    pub fn inc(&mut self, name: &'static str) {
+        self.add(name, 1);
+    }
+
+    /// Reads counter `name` (0 if never touched).
+    pub fn get(&self, name: &str) -> u64 {
+        self.inner.get(name).copied().unwrap_or(0)
+    }
+
+    /// Iterates counters in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.inner.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Merges another counter set into this one.
+    pub fn merge(&mut self, other: &Counters) {
+        for (k, v) in other.iter() {
+            self.add(k, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basic_moments() {
+        let mut s = Summary::new();
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            s.add(v);
+        }
+        assert_eq!(s.count(), 4);
+        assert!((s.mean() - 2.5).abs() < 1e-12);
+        assert!((s.stddev() - 1.2909944).abs() < 1e-6);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 4.0);
+    }
+
+    #[test]
+    fn empty_summary_is_safe() {
+        let mut s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.stddev(), 0.0);
+        assert_eq!(s.median(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let mut s = Summary::new();
+        for v in 1..=100 {
+            s.add(v as f64);
+        }
+        assert_eq!(s.percentile(50.0), 50.0);
+        assert_eq!(s.percentile(90.0), 90.0);
+        assert_eq!(s.percentile(100.0), 100.0);
+        assert_eq!(s.percentile(1.0), 1.0);
+    }
+
+    #[test]
+    fn median_unsorted_input() {
+        let mut s = Summary::new();
+        for v in [9.0, 1.0, 5.0] {
+            s.add(v);
+        }
+        assert_eq!(s.median(), 5.0);
+        s.add(2.0);
+        assert_eq!(s.median(), 2.0); // nearest-rank on 4 samples -> 2nd
+    }
+
+    #[test]
+    fn histogram_bins_and_clamping() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.add(0.5);
+        h.add(9.9);
+        h.add(-5.0); // clamps to first bin
+        h.add(50.0); // clamps to last bin
+        assert_eq!(h.count(), 4);
+        let bins: Vec<(f64, u64)> = h.iter().collect();
+        assert_eq!(bins[0].1, 2);
+        assert_eq!(bins[9].1, 2);
+        assert!((bins[0].0 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_cdf() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for v in [1.0, 2.0, 3.0, 8.0] {
+            h.add(v);
+        }
+        assert!((h.cdf_at(3.6) - 0.75).abs() < 1e-12);
+        assert!((h.cdf_at(10.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counters_accumulate_and_merge() {
+        let mut a = Counters::new();
+        a.inc("frames_tx");
+        a.add("frames_tx", 2);
+        assert_eq!(a.get("frames_tx"), 3);
+        assert_eq!(a.get("unknown"), 0);
+        let mut b = Counters::new();
+        b.add("frames_tx", 10);
+        b.inc("drops");
+        a.merge(&b);
+        assert_eq!(a.get("frames_tx"), 13);
+        assert_eq!(a.get("drops"), 1);
+    }
+}

@@ -1,0 +1,298 @@
+//! Simulated time: microsecond-resolution instants and durations.
+//!
+//! All protocol layers in the reproduction use this time base. The
+//! resolution (1 µs) is finer than any timing constant in the paper
+//! (the smallest is the 16 µs IEEE 802.15.4 symbol period), and a u64
+//! of microseconds spans ~584 000 years, so overflow is not a concern
+//! for day-scale experiments (§9.5 runs 24 simulated hours).
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A point in simulated time, measured in microseconds since the start
+/// of the simulation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Instant(u64);
+
+/// A span of simulated time in microseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Duration(u64);
+
+impl Instant {
+    /// The origin of simulated time.
+    pub const ZERO: Instant = Instant(0);
+
+    /// Constructs an instant from microseconds since the origin.
+    pub const fn from_micros(us: u64) -> Self {
+        Instant(us)
+    }
+
+    /// Constructs an instant from milliseconds since the origin.
+    pub const fn from_millis(ms: u64) -> Self {
+        Instant(ms * 1_000)
+    }
+
+    /// Constructs an instant from seconds since the origin.
+    pub const fn from_secs(s: u64) -> Self {
+        Instant(s * 1_000_000)
+    }
+
+    /// Microseconds since the origin.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Whole milliseconds since the origin.
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Seconds since the origin, as a float (for reporting).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Time elapsed since `earlier`; zero if `earlier` is in the future.
+    pub fn saturating_duration_since(self, earlier: Instant) -> Duration {
+        Duration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Time elapsed since `earlier`.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `earlier` is later than `self`.
+    pub fn duration_since(self, earlier: Instant) -> Duration {
+        debug_assert!(self.0 >= earlier.0, "duration_since: negative duration");
+        Duration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Duration {
+    /// The zero-length duration.
+    pub const ZERO: Duration = Duration(0);
+    /// A duration longer than any experiment; used as an "infinite" timeout.
+    pub const MAX: Duration = Duration(u64::MAX);
+
+    /// Constructs a duration from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        Duration(us)
+    }
+
+    /// Constructs a duration from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        Duration(ms * 1_000)
+    }
+
+    /// Constructs a duration from seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        Duration(s * 1_000_000)
+    }
+
+    /// Constructs a duration from fractional seconds (rounded down to µs).
+    pub fn from_secs_f64(s: f64) -> Self {
+        assert!(s >= 0.0, "negative duration");
+        Duration((s * 1e6) as u64)
+    }
+
+    /// The duration in microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// The duration in whole milliseconds.
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// The duration in fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: Duration) -> Duration {
+        Duration(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked multiplication by an integer factor.
+    pub fn checked_mul(self, rhs: u64) -> Option<Duration> {
+        self.0.checked_mul(rhs).map(Duration)
+    }
+
+    /// Saturating multiplication by an integer factor.
+    pub fn saturating_mul(self, rhs: u64) -> Duration {
+        Duration(self.0.saturating_mul(rhs))
+    }
+
+    /// Returns the smaller of two durations.
+    pub fn min(self, rhs: Duration) -> Duration {
+        if self.0 <= rhs.0 {
+            self
+        } else {
+            rhs
+        }
+    }
+
+    /// Returns the larger of two durations.
+    pub fn max(self, rhs: Duration) -> Duration {
+        if self.0 >= rhs.0 {
+            self
+        } else {
+            rhs
+        }
+    }
+}
+
+impl Add<Duration> for Instant {
+    type Output = Instant;
+    fn add(self, rhs: Duration) -> Instant {
+        Instant(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<Duration> for Instant {
+    fn add_assign(&mut self, rhs: Duration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<Duration> for Instant {
+    type Output = Instant;
+    fn sub(self, rhs: Duration) -> Instant {
+        Instant(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Sub<Instant> for Instant {
+    type Output = Duration;
+    fn sub(self, rhs: Instant) -> Duration {
+        self.duration_since(rhs)
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for Duration {
+    fn add_assign(&mut self, rhs: Duration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    fn sub(self, rhs: Duration) -> Duration {
+        debug_assert!(self.0 >= rhs.0, "Duration subtraction underflow");
+        Duration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for Duration {
+    fn sub_assign(&mut self, rhs: Duration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for Duration {
+    type Output = Duration;
+    fn mul(self, rhs: u64) -> Duration {
+        Duration(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Div<u64> for Duration {
+    type Output = Duration;
+    fn div(self, rhs: u64) -> Duration {
+        Duration(self.0 / rhs)
+    }
+}
+
+impl fmt::Debug for Instant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for Instant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}", self.as_secs_f64())
+    }
+}
+
+impl fmt::Debug for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 == u64::MAX {
+            write!(f, "inf")
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{}us", self.0)
+        }
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instant_arithmetic_roundtrips() {
+        let t = Instant::from_millis(1500);
+        assert_eq!(t.as_micros(), 1_500_000);
+        assert_eq!(t.as_millis(), 1500);
+        let u = t + Duration::from_micros(250);
+        assert_eq!(u - t, Duration::from_micros(250));
+        assert_eq!(u - Duration::from_micros(250), t);
+    }
+
+    #[test]
+    fn saturating_duration_since_clamps_to_zero() {
+        let a = Instant::from_secs(1);
+        let b = Instant::from_secs(2);
+        assert_eq!(a.saturating_duration_since(b), Duration::ZERO);
+        assert_eq!(b.saturating_duration_since(a), Duration::from_secs(1));
+    }
+
+    #[test]
+    fn duration_scaling() {
+        let d = Duration::from_millis(3);
+        assert_eq!(d * 4, Duration::from_millis(12));
+        assert_eq!(d / 3, Duration::from_millis(1));
+        assert_eq!(Duration::from_secs_f64(0.5), Duration::from_millis(500));
+    }
+
+    #[test]
+    fn duration_min_max() {
+        let a = Duration::from_millis(1);
+        let b = Duration::from_millis(2);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+    }
+
+    #[test]
+    fn formatting_is_stable() {
+        assert_eq!(format!("{:?}", Duration::from_micros(7)), "7us");
+        assert_eq!(format!("{:?}", Duration::from_millis(7)), "7.000ms");
+        assert_eq!(format!("{:?}", Duration::from_secs(7)), "7.000s");
+        assert_eq!(format!("{:?}", Duration::MAX), "inf");
+    }
+
+    #[test]
+    fn instant_saturates_rather_than_overflowing() {
+        let t = Instant::from_micros(u64::MAX - 1);
+        let u = t + Duration::from_secs(10);
+        assert_eq!(u.as_micros(), u64::MAX);
+    }
+}

@@ -1,0 +1,145 @@
+//! Time-series recording.
+//!
+//! A [`Series`] stores `(Instant, f64)` points, used for traces such as
+//! the congestion-window evolution in Figure 7(a) and the per-hour duty
+//! cycles in Figure 10.
+
+use crate::time::{Duration, Instant};
+
+/// A named time series of floating-point samples.
+#[derive(Clone, Debug)]
+pub struct Series {
+    name: String,
+    points: Vec<(Instant, f64)>,
+}
+
+impl Series {
+    /// Creates an empty series.
+    pub fn new(name: impl Into<String>) -> Self {
+        Series {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// The series name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Records a sample at `t`.
+    pub fn record(&mut self, t: Instant, v: f64) {
+        self.points.push((t, v));
+    }
+
+    /// All recorded points in insertion order.
+    pub fn points(&self) -> &[(Instant, f64)] {
+        &self.points
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when no points have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Last recorded value, if any.
+    pub fn last(&self) -> Option<f64> {
+        self.points.last().map(|&(_, v)| v)
+    }
+
+    /// Restricts to points with `start <= t < end`.
+    pub fn window(&self, start: Instant, end: Instant) -> impl Iterator<Item = (Instant, f64)> + '_ {
+        self.points
+            .iter()
+            .copied()
+            .filter(move |&(t, _)| t >= start && t < end)
+    }
+
+    /// Buckets points into fixed `bucket` windows and returns per-bucket
+    /// means as `(bucket_start, mean)`; empty buckets are skipped.
+    pub fn bucket_means(&self, bucket: Duration) -> Vec<(Instant, f64)> {
+        assert!(bucket > Duration::ZERO);
+        let mut out: Vec<(Instant, f64)> = Vec::new();
+        let mut acc: Vec<(u64, f64, u64)> = Vec::new(); // (bucket idx, sum, count)
+        for &(t, v) in &self.points {
+            let idx = t.as_micros() / bucket.as_micros();
+            match acc.iter_mut().find(|(i, _, _)| *i == idx) {
+                Some((_, sum, n)) => {
+                    *sum += v;
+                    *n += 1;
+                }
+                None => acc.push((idx, v, 1)),
+            }
+        }
+        acc.sort_by_key(|&(i, _, _)| i);
+        for (i, sum, n) in acc {
+            out.push((
+                Instant::from_micros(i * bucket.as_micros()),
+                sum / n as f64,
+            ));
+        }
+        out
+    }
+
+    /// Renders the series as a compact ASCII sparkline-style dump, one
+    /// point per line: `t<TAB>v`. Used by experiment binaries.
+    pub fn dump(&self) -> String {
+        let mut s = String::new();
+        for &(t, v) in &self.points {
+            s.push_str(&format!("{:.6}\t{:.6}\n", t.as_secs_f64(), v));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order() {
+        let mut s = Series::new("cwnd");
+        s.record(Instant::from_secs(1), 100.0);
+        s.record(Instant::from_secs(2), 200.0);
+        assert_eq!(s.name(), "cwnd");
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.last(), Some(200.0));
+    }
+
+    #[test]
+    fn window_filters_half_open() {
+        let mut s = Series::new("x");
+        for sec in 0..10 {
+            s.record(Instant::from_secs(sec), sec as f64);
+        }
+        let got: Vec<f64> = s
+            .window(Instant::from_secs(2), Instant::from_secs(5))
+            .map(|(_, v)| v)
+            .collect();
+        assert_eq!(got, [2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn bucket_means_average_per_bucket() {
+        let mut s = Series::new("x");
+        s.record(Instant::from_millis(100), 1.0);
+        s.record(Instant::from_millis(200), 3.0);
+        s.record(Instant::from_millis(1500), 10.0);
+        let b = s.bucket_means(Duration::from_secs(1));
+        assert_eq!(b.len(), 2);
+        assert_eq!(b[0], (Instant::ZERO, 2.0));
+        assert_eq!(b[1], (Instant::from_secs(1), 10.0));
+    }
+
+    #[test]
+    fn dump_format() {
+        let mut s = Series::new("x");
+        s.record(Instant::from_secs(1), 0.5);
+        assert_eq!(s.dump(), "1.000000\t0.500000\n");
+    }
+}

@@ -1,0 +1,338 @@
+//! 6LoWPAN fragmentation and reassembly (RFC 4944 §5.3).
+//!
+//! A compressed packet larger than one frame is split into a FRAG1
+//! fragment (4-byte header: dispatch + datagram size + tag) and FRAGN
+//! fragments (5 bytes: + offset in 8-byte units). The paper's §6.1
+//! trade-off lives here: a 5-frame MSS amortises the 50-107 byte
+//! first-frame header cost, but loses the whole packet if any one
+//! frame is lost.
+//!
+//! Note on datagram size: RFC 4944 counts the size of the *uncompressed*
+//! IPv6 datagram. Because our reassembler hands back exactly the bytes
+//! given to [`fragment`], we carry the compressed length instead; the
+//! semantics are equivalent inside one network.
+
+use lln_netip::NodeId;
+use lln_sim::{Duration, Instant};
+
+const FRAG1_DISPATCH: u8 = 0b1100_0000;
+const FRAGN_DISPATCH: u8 = 0b1110_0000;
+
+/// Header size of the first fragment.
+pub const FRAG1_HDR: usize = 4;
+/// Header size of subsequent fragments.
+pub const FRAGN_HDR: usize = 5;
+
+/// One 6LoWPAN fragment, ready to ride in a MAC frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Fragment {
+    /// Encoded fragment: header + slice of the datagram.
+    pub bytes: Vec<u8>,
+}
+
+/// Splits `packet` into fragments that each fit in `max_payload` bytes
+/// of MAC payload. Returns a single unfragmented "fragment" (no 6LoWPAN
+/// fragmentation header) when the packet fits directly.
+pub fn fragment(packet: &[u8], tag: u16, max_payload: usize) -> Vec<Fragment> {
+    assert!(max_payload > FRAGN_HDR + 8, "frame too small to fragment into");
+    if packet.len() <= max_payload {
+        return vec![Fragment {
+            bytes: packet.to_vec(),
+        }];
+    }
+    assert!(
+        packet.len() < (1 << 11),
+        "datagram exceeds the 11-bit 6LoWPAN size field"
+    );
+    let size = packet.len() as u16;
+    let mut frags = Vec::new();
+    // First fragment: payload must be a multiple of 8.
+    let first_room = (max_payload - FRAG1_HDR) & !7;
+    let mut offset = 0usize;
+    {
+        let mut b = Vec::with_capacity(FRAG1_HDR + first_room);
+        b.push(FRAG1_DISPATCH | ((size >> 8) as u8 & 0x07));
+        b.push(size as u8);
+        b.extend_from_slice(&tag.to_be_bytes());
+        b.extend_from_slice(&packet[..first_room]);
+        frags.push(Fragment { bytes: b });
+        offset += first_room;
+    }
+    while offset < packet.len() {
+        let room = (max_payload - FRAGN_HDR) & !7;
+        let remaining = packet.len() - offset;
+        let take = if remaining <= max_payload - FRAGN_HDR {
+            remaining
+        } else {
+            room
+        };
+        let mut b = Vec::with_capacity(FRAGN_HDR + take);
+        b.push(FRAGN_DISPATCH | ((size >> 8) as u8 & 0x07));
+        b.push(size as u8);
+        b.extend_from_slice(&tag.to_be_bytes());
+        b.push((offset / 8) as u8);
+        b.extend_from_slice(&packet[offset..offset + take]);
+        frags.push(Fragment { bytes: b });
+        offset += take;
+    }
+    frags
+}
+
+/// Returns true when `bytes` begins with a fragmentation header
+/// (FRAG1 or FRAGN dispatch).
+pub fn is_fragment(bytes: &[u8]) -> bool {
+    matches!(bytes.first().map(|b| b >> 3), Some(0b11000) | Some(0b11100))
+}
+
+#[derive(Clone, Debug)]
+struct PartialDatagram {
+    src: NodeId,
+    tag: u16,
+    size: usize,
+    buf: Vec<u8>,
+    have: Vec<bool>, // per 8-byte unit
+    started: Instant,
+}
+
+impl PartialDatagram {
+    fn complete(&self) -> bool {
+        let units = self.size.div_ceil(8);
+        self.have[..units].iter().all(|&b| b)
+    }
+}
+
+/// Per-neighbour reassembly buffers with timeout.
+#[derive(Clone, Debug)]
+pub struct Reassembler {
+    partials: Vec<PartialDatagram>,
+    timeout: Duration,
+    /// Datagrams abandoned due to timeout (one lost frame kills the
+    /// whole packet — the §6.1 reliability cost of a large MSS).
+    pub timeouts: u64,
+}
+
+impl Default for Reassembler {
+    fn default() -> Self {
+        Self::new(Duration::from_secs(4))
+    }
+}
+
+impl Reassembler {
+    /// Creates a reassembler whose partial datagrams expire after
+    /// `timeout` (RFC 4944 suggests up to 60 s; LLN stacks use a few
+    /// seconds).
+    pub fn new(timeout: Duration) -> Self {
+        Reassembler {
+            partials: Vec::new(),
+            timeout,
+            timeouts: 0,
+        }
+    }
+
+    /// Offers a received MAC payload from `src`. Returns the full
+    /// datagram when this fragment completes one. Non-fragment payloads
+    /// are returned immediately.
+    pub fn offer(&mut self, src: NodeId, bytes: &[u8], now: Instant) -> Option<Vec<u8>> {
+        self.expire(now);
+        if bytes.len() < FRAG1_HDR || bytes[0] & 0b1100_0000 != 0b1100_0000 {
+            return Some(bytes.to_vec());
+        }
+        let is_first = bytes[0] >> 3 == 0b11000;
+        let is_subseq = bytes[0] >> 3 == 0b11100;
+        if !is_first && !is_subseq {
+            return Some(bytes.to_vec());
+        }
+        let size = ((usize::from(bytes[0] & 0x07)) << 8) | usize::from(bytes[1]);
+        let tag = u16::from_be_bytes([bytes[2], bytes[3]]);
+        let (offset, data) = if is_first {
+            (0usize, &bytes[FRAG1_HDR..])
+        } else {
+            if bytes.len() < FRAGN_HDR {
+                return None;
+            }
+            (usize::from(bytes[4]) * 8, &bytes[FRAGN_HDR..])
+        };
+        if offset + data.len() > size || size == 0 {
+            return None; // malformed
+        }
+
+        let idx = match self
+            .partials
+            .iter()
+            .position(|p| p.src == src && p.tag == tag && p.size == size)
+        {
+            Some(i) => i,
+            None => {
+                self.partials.push(PartialDatagram {
+                    src,
+                    tag,
+                    size,
+                    buf: vec![0; size],
+                    have: vec![false; size.div_ceil(8)],
+                    started: now,
+                });
+                self.partials.len() - 1
+            }
+        };
+        {
+            let p = &mut self.partials[idx];
+            p.buf[offset..offset + data.len()].copy_from_slice(data);
+            let first_unit = offset / 8;
+            let units = data.len().div_ceil(8);
+            for u in first_unit..(first_unit + units).min(p.have.len()) {
+                p.have[u] = true;
+            }
+        }
+        if self.partials[idx].complete() {
+            let p = self.partials.remove(idx);
+            Some(p.buf)
+        } else {
+            None
+        }
+    }
+
+    fn expire(&mut self, now: Instant) {
+        let timeout = self.timeout;
+        let before = self.partials.len();
+        self.partials
+            .retain(|p| now.saturating_duration_since(p.started) < timeout);
+        self.timeouts += (before - self.partials.len()) as u64;
+    }
+
+    /// Number of incomplete datagrams held.
+    pub fn pending(&self) -> usize {
+        self.partials.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(n: usize) -> Vec<u8> {
+        (0..n).map(|i| (i * 31 % 256) as u8).collect()
+    }
+
+    #[test]
+    fn small_packet_not_fragmented() {
+        let p = pkt(80);
+        let frags = fragment(&p, 1, 104);
+        assert_eq!(frags.len(), 1);
+        assert_eq!(frags[0].bytes, p);
+    }
+
+    #[test]
+    fn five_frame_mss_fragments_as_paper_describes() {
+        // A 462 B TCP segment + ~4 B compressed IP header needs 5 frames
+        // of 104 B MAC payload (the paper's MSS = 5 frames).
+        let p = pkt(466);
+        let frags = fragment(&p, 7, 104);
+        assert_eq!(frags.len(), 5, "fragments: {}", frags.len());
+        for f in &frags {
+            assert!(f.bytes.len() <= 104);
+        }
+        assert_eq!(frags[0].bytes[0] >> 3, 0b11000, "FRAG1 dispatch");
+        assert_eq!(frags[1].bytes[0] >> 3, 0b11100, "FRAGN dispatch");
+    }
+
+    #[test]
+    fn reassembly_roundtrip_in_order() {
+        let p = pkt(400);
+        let frags = fragment(&p, 3, 104);
+        let mut r = Reassembler::default();
+        let mut out = None;
+        for f in &frags {
+            out = r.offer(NodeId(5), &f.bytes, Instant::ZERO);
+        }
+        assert_eq!(out.expect("complete"), p);
+        assert_eq!(r.pending(), 0);
+    }
+
+    #[test]
+    fn reassembly_out_of_order() {
+        let p = pkt(300);
+        let frags = fragment(&p, 9, 104);
+        let mut r = Reassembler::default();
+        let mut done = None;
+        for i in (0..frags.len()).rev() {
+            done = r.offer(NodeId(5), &frags[i].bytes, Instant::ZERO);
+        }
+        assert_eq!(done.expect("complete"), p);
+    }
+
+    #[test]
+    fn duplicate_fragments_harmless() {
+        let p = pkt(300);
+        let frags = fragment(&p, 9, 104);
+        let mut r = Reassembler::default();
+        let mut done = None;
+        for f in &frags {
+            // Offer each fragment twice; duplicates must be harmless.
+            done = r.offer(NodeId(5), &f.bytes, Instant::ZERO).or(done);
+            done = r.offer(NodeId(5), &f.bytes, Instant::ZERO).or(done);
+        }
+        assert_eq!(done.expect("complete"), p);
+    }
+
+    #[test]
+    fn interleaved_sources_do_not_mix() {
+        let pa = pkt(200);
+        let pb: Vec<u8> = pkt(200).iter().map(|b| b ^ 0xff).collect();
+        let fa = fragment(&pa, 1, 104);
+        let fb = fragment(&pb, 1, 104); // same tag, different source
+        let mut r = Reassembler::default();
+        let mut da = None;
+        let mut db = None;
+        // Interleave the two sources fragment by fragment.
+        for (a, b) in fa.iter().zip(fb.iter()) {
+            da = r.offer(NodeId(1), &a.bytes, Instant::ZERO).or(da);
+            db = r.offer(NodeId(2), &b.bytes, Instant::ZERO).or(db);
+        }
+        assert_eq!(da.unwrap(), pa);
+        assert_eq!(db.unwrap(), pb);
+    }
+
+    #[test]
+    fn missing_fragment_times_out() {
+        let p = pkt(300);
+        let frags = fragment(&p, 9, 104);
+        let mut r = Reassembler::new(Duration::from_secs(2));
+        r.offer(NodeId(5), &frags[0].bytes, Instant::ZERO);
+        r.offer(NodeId(5), &frags[2].bytes, Instant::ZERO);
+        assert_eq!(r.pending(), 1);
+        // After the timeout, a new offer triggers expiry.
+        let done = r.offer(NodeId(5), &frags[1].bytes, Instant::from_secs(3));
+        assert!(done.is_none(), "stale partial expired; lone FRAGN pends");
+        assert_eq!(r.timeouts, 1);
+    }
+
+    #[test]
+    fn non_fragment_passthrough() {
+        let mut r = Reassembler::default();
+        let out = r.offer(NodeId(1), &[0x62, 0x33, 0x01], Instant::ZERO);
+        assert_eq!(out.unwrap(), vec![0x62, 0x33, 0x01]);
+    }
+
+    #[test]
+    fn malformed_fragment_dropped() {
+        let mut r = Reassembler::default();
+        // FRAG1 claiming size 16 but carrying 24 bytes of payload.
+        let mut bad = vec![FRAG1_DISPATCH, 16, 0, 1];
+        bad.extend_from_slice(&[0u8; 24]);
+        assert!(r.offer(NodeId(1), &bad, Instant::ZERO).is_none());
+        assert_eq!(r.pending(), 0);
+    }
+
+    #[test]
+    fn fragment_payload_multiple_of_eight() {
+        let p = pkt(500);
+        for f in fragment(&p, 2, 104).iter().rev().skip(1) {
+            let hdr = if f.bytes[0] >> 3 == 0b11000 {
+                FRAG1_HDR
+            } else {
+                FRAGN_HDR
+            };
+            assert_eq!((f.bytes.len() - hdr) % 8, 0);
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! TCP over a duty-cycled link (Appendix C): a sleepy end device with
+//! the adaptive Trickle-based sleep interval carries bulk TCP at high
+//! throughput, yet idles at a tiny duty cycle.
+//!
+//! Run with: `cargo run --example duty_cycling --release`
+
+use tcplp_repro::mac::poll::PollMode;
+use tcplp_repro::node::route::Topology;
+use tcplp_repro::node::stack::NodeKind;
+use tcplp_repro::node::world::{World, WorldConfig};
+use tcplp_repro::sim::{Duration, Instant};
+use tcplp_repro::tcplp::TcpConfig;
+
+fn build() -> World {
+    let topo = Topology::pair(0.999);
+    let mut world = World::new(
+        &topo,
+        &[NodeKind::Router, NodeKind::SleepyLeaf],
+        WorldConfig::default(),
+    );
+    // Appendix C parameters: smin = 20 ms, smax = 5 s, double on idle.
+    world.set_poll_mode(1, PollMode::paper_adaptive());
+    world.schedule_poll(1, Instant::from_millis(5));
+    world
+}
+
+fn main() {
+    // Phase 1: idle leaf for 10 minutes — measure the idle duty cycle.
+    let mut world = build();
+    world.run_for(Duration::from_secs(600));
+    let now = world.now();
+    let idle_dc = world.nodes[1].meter.radio_duty_cycle(now);
+    println!("idle duty cycle (10 min, adaptive polls): {:.3}%", idle_dc * 100.0);
+
+    // Phase 2: a TCP burst through the duty-cycled link.
+    let mut world = build();
+    let tcp = TcpConfig::with_window_segments(462, 6); // §C.2's 6-segment buffers
+    world.add_tcp_listener(0, tcp.clone());
+    world.set_sink(0);
+    world.add_tcp_client(1, 0, tcp, Instant::from_secs(60));
+    world.set_bulk_sender(1, Some(300_000));
+    world.run_for(Duration::from_secs(180));
+    let goodput = world.nodes[0].app.sink_goodput_bps();
+    let now = world.now();
+    let dc = world.nodes[1].meter.radio_duty_cycle(now);
+    println!(
+        "bulk uplink through the sleepy link:      {:.1} kb/s (paper §C.2: 68.6 kb/s)",
+        goodput / 1000.0
+    );
+    println!("duty cycle across idle+burst phases:      {:.2}%", dc * 100.0);
+    println!();
+    println!("The Trickle rule (reset to 20 ms on traffic, double to 5 s when");
+    println!("idle) gives always-on-like TCP throughput during bursts and a");
+    println!("~0.1% radio duty cycle when quiescent — no static compromise.");
+}

@@ -1,0 +1,106 @@
+//! Interactive duplex session over the mesh — the paper's §10
+//! "versatility" argument: TCP's bytestream supports request/response
+//! interactions (think: a debugging shell into a mote) that
+//! sensor-data protocols like CoAP were never designed for.
+//!
+//! A "shell client" on the cloud host sends commands to a mote three
+//! wireless hops deep; the mote answers over the same connection. We
+//! measure per-command round-trip latency through the full stack.
+//!
+//! Run with: `cargo run --example echo_session --release`
+
+use tcplp_repro::netip::NodeId;
+use tcplp_repro::node::route::Topology;
+use tcplp_repro::node::stack::NodeKind;
+use tcplp_repro::node::world::{World, WorldConfig};
+use tcplp_repro::phy::{LinkMatrix, RadioIdx};
+use tcplp_repro::sim::{Duration, Instant};
+use tcplp_repro::tcplp::TcpConfig;
+
+fn main() {
+    // cloud(0) — border(1) — r2 — r3 (the "shell server" mote).
+    let mut links = LinkMatrix::new(4);
+    links.set_symmetric(RadioIdx(1), RadioIdx(2), 0.99);
+    links.set_symmetric(RadioIdx(2), RadioIdx(3), 0.99);
+    let topo = Topology::with_shortest_paths(links);
+    let mut world = World::new(
+        &topo,
+        &[
+            NodeKind::CloudHost,
+            NodeKind::BorderRouter,
+            NodeKind::Router,
+            NodeKind::Router,
+        ],
+        WorldConfig::default(),
+    );
+    // The mote listens; the cloud connects (inbound connection into the
+    // LLN — no application-layer gateway, the paper's interoperability
+    // point).
+    world.add_tcp_listener(3, TcpConfig::default());
+    world.add_tcp_client(0, 3, TcpConfig::default(), Instant::from_millis(10));
+    world.run_for(Duration::from_secs(3));
+    assert_eq!(
+        world.nodes[0].transport.tcp[0].state(),
+        tcplp_repro::tcplp::TcpState::Established,
+        "cloud shell connected into the mesh"
+    );
+
+    let commands: &[&str] = &[
+        "uptime",
+        "read anemometer 0",
+        "set txpower -8",
+        "dump neighbor table",
+        "reboot --dry-run",
+    ];
+    println!("interactive session: cloud -> 3-hop mote (echo server)\n");
+    for cmd in commands {
+        let sent_at = world.now();
+        world.nodes[0].transport.tcp[0].send(cmd.as_bytes());
+        world.pump_transport(0, world.now());
+
+        // Drive the world until the echo comes back (mote echoes each
+        // command reversed, like a tiny shell).
+        let mut reply = Vec::new();
+        for _ in 0..400 {
+            world.run_for(Duration::from_millis(10));
+            // Mote side: echo whatever arrived.
+            let mut buf = [0u8; 256];
+            let now = world.now();
+            let n = {
+                let server = world.nodes[3].transport.tcp.first_mut().expect("accepted");
+                server.recv(&mut buf)
+            };
+            if n > 0 {
+                let echoed: Vec<u8> = buf[..n].iter().rev().copied().collect();
+                let server = world.nodes[3].transport.tcp.first_mut().unwrap();
+                server.send(&echoed);
+                world.pump_transport(3, now);
+            }
+            // Cloud side: collect the reply.
+            let n = world.nodes[0].transport.tcp[0].recv(&mut buf);
+            if n > 0 {
+                reply.extend_from_slice(&buf[..n]);
+            }
+            if reply.len() >= cmd.len() {
+                break;
+            }
+        }
+        let rtt = world.now() - sent_at;
+        let reply_str = String::from_utf8_lossy(&reply);
+        println!(
+            "  $ {cmd:<22} -> {reply_str:<22} ({:.0} ms round trip)",
+            rtt.as_secs_f64() * 1000.0
+        );
+        let expect: String = cmd.chars().rev().collect();
+        assert_eq!(reply_str, expect, "echo must be intact");
+    }
+
+    println!("\nFive request/response exchanges over one TCP connection,");
+    println!("initiated from the wired side, across three 802.15.4 hops —");
+    println!("no gateway, no per-message protocol machinery. (Addresses:");
+    println!(
+        "cloud {} -> mote {}.)",
+        NodeId(0).cloud_addr(),
+        NodeId(3).mesh_addr()
+    );
+}

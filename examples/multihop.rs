@@ -1,0 +1,60 @@
+//! Multihop TCP with hidden terminals: sweeps the link-retry delay `d`
+//! over a 3-hop chain, showing the paper's §7.1 mechanism in action —
+//! a random delay between link-layer retransmissions defuses
+//! hidden-terminal collisions.
+//!
+//! Run with: `cargo run --example multihop --release`
+
+use tcplp_repro::mac::MacConfig;
+use tcplp_repro::node::route::Topology;
+use tcplp_repro::node::stack::NodeKind;
+use tcplp_repro::node::world::{World, WorldConfig};
+use tcplp_repro::sim::{Duration, Instant};
+use tcplp_repro::tcplp::TcpConfig;
+
+fn run(d: Duration) -> (f64, f64, u64) {
+    let hops = 3;
+    let topo = Topology::chain(hops + 1, 0.999);
+    let mut cfg = WorldConfig::default();
+    cfg.mac = MacConfig {
+        retry_delay_max: d,
+        ..MacConfig::default()
+    };
+    let mut world = World::new(&topo, &vec![NodeKind::Router; hops + 1], cfg);
+    world.add_tcp_listener(0, TcpConfig::default());
+    world.set_sink(0);
+    world.add_tcp_client(hops, 0, TcpConfig::default(), Instant::from_millis(10));
+    world.set_bulk_sender(hops, Some(600_000));
+    world.run_for(Duration::from_secs(90));
+    let sender = &world.nodes[hops].transport.tcp[0];
+    let loss = sender.stats.segs_retransmitted as f64
+        / (sender.stats.segs_sent - sender.stats.acks_sent).max(1) as f64;
+    (
+        world.nodes[0].app.sink_goodput_bps(),
+        loss,
+        world.medium.counters.get("collisions"),
+    )
+}
+
+fn main() {
+    println!("3-hop chain: node3 -> node2 -> node1 -> node0 (hidden terminals");
+    println!("everywhere: only adjacent nodes hear each other)\n");
+    println!(
+        "{:<10} {:>12} {:>14} {:>12}",
+        "d (ms)", "goodput", "segment loss", "collisions"
+    );
+    println!("{:-<50}", "");
+    for d_ms in [0u64, 10, 20, 40, 80] {
+        let (goodput, loss, collisions) = run(Duration::from_millis(d_ms));
+        println!(
+            "{:<10} {:>9.1} k {:>13.1}% {:>12}",
+            d_ms,
+            goodput / 1000.0,
+            loss * 100.0,
+            collisions
+        );
+    }
+    println!("\nAt d = 0 retransmissions of collided frames collide again;");
+    println!("a moderate random delay (the paper recommends ~40 ms) spreads");
+    println!("them out, cutting TCP segment loss by an order of magnitude.");
+}

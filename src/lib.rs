@@ -1,0 +1,17 @@
+//! Umbrella crate for the TCPlp reproduction workspace.
+//!
+//! Re-exports the individual crates so examples and integration tests can
+//! use a single dependency. See `DESIGN.md` for the system inventory and
+//! `EXPERIMENTS.md` for the paper-vs-measured results.
+
+pub use lln_coap as coap;
+pub use lln_energy as energy;
+pub use lln_mac as mac;
+pub use lln_models as models;
+pub use lln_netip as netip;
+pub use lln_node as node;
+pub use lln_phy as phy;
+pub use lln_sim as sim;
+pub use lln_sixlowpan as sixlowpan;
+pub use lln_uip as uip;
+pub use tcplp;
