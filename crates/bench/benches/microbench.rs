@@ -1,35 +1,60 @@
-//! Criterion microbenchmarks for the hot paths of the reproduction:
-//! codec throughput (TCP segments, IPHC, 6LoWPAN fragmentation, MAC
-//! frames), the in-place reassembly receive buffer, the RED queue, the
-//! deterministic RNG/event queue, an in-memory TCP socket pair, and a
-//! full simulated single-hop transfer (events per second).
+//! Self-timed microbenchmarks for the hot paths of the reproduction:
+//! codec throughput (TCP segments, IPHC, 6LoWPAN fragmentation), the
+//! in-place reassembly receive buffer, the RED queue, the deterministic
+//! RNG/event queue, an in-memory TCP socket pair, and a full simulated
+//! single-hop transfer (events per second).
+//!
+//! Runs as a plain `harness = false` bench target so `cargo bench`
+//! works offline with zero external dependencies. Each benchmark is
+//! warmed up, then timed over a fixed iteration count; we report
+//! ns/iter and, where a byte count is meaningful, MB/s.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use lln_netip::{Ecn, Ipv6Header, NextHeader, NodeId, RedConfig, RedQueue};
 use lln_sim::{Duration, EventQueue, Instant, Rng};
 use std::hint::black_box;
+use std::time::Instant as WallInstant;
 use tcplp::{Flags, ListenSocket, RecvBuffer, Segment, SendBuffer, TcpConfig, TcpSeq, TcpSocket};
 
-fn bench_wire_codec(c: &mut Criterion) {
+/// Times `iters` runs of `f` (after `warmup` untimed runs) and prints
+/// one result line. Returns mean ns/iter.
+fn bench(name: &str, bytes_per_iter: Option<u64>, iters: u32, mut f: impl FnMut()) {
+    let warmup = (iters / 10).max(1);
+    for _ in 0..warmup {
+        f();
+    }
+    let start = WallInstant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let elapsed = start.elapsed();
+    let ns = elapsed.as_nanos() as f64 / f64::from(iters);
+    match bytes_per_iter {
+        Some(b) if ns > 0.0 => {
+            let mbps = b as f64 / ns * 1000.0; // bytes/ns -> MB/s
+            println!("{name:<40} {ns:>12.1} ns/iter {mbps:>10.1} MB/s");
+        }
+        _ => println!("{name:<40} {ns:>12.1} ns/iter"),
+    }
+}
+
+fn bench_wire_codec() {
     let src = NodeId(1).mesh_addr();
     let dst = NodeId(2).mesh_addr();
     let mut seg = Segment::new(49152, 80, TcpSeq(1000), TcpSeq(2000), Flags::ACK | Flags::PSH);
     seg.timestamps = Some(tcplp::Timestamps { value: 1, echo: 2 });
     seg.payload = vec![0xab; 462];
     let encoded = seg.encode(src, dst);
+    let len = encoded.len() as u64;
 
-    let mut g = c.benchmark_group("tcp_wire");
-    g.throughput(Throughput::Bytes(encoded.len() as u64));
-    g.bench_function("encode_462B_segment", |b| {
-        b.iter(|| black_box(seg.encode(src, dst)))
+    bench("tcp_wire/encode_462B_segment", Some(len), 100_000, || {
+        black_box(seg.encode(src, dst));
     });
-    g.bench_function("decode_462B_segment", |b| {
-        b.iter(|| black_box(Segment::decode(src, dst, &encoded)).unwrap())
+    bench("tcp_wire/decode_462B_segment", Some(len), 100_000, || {
+        black_box(Segment::decode(src, dst, &encoded)).unwrap();
     });
-    g.finish();
 }
 
-fn bench_sixlowpan(c: &mut Criterion) {
+fn bench_sixlowpan() {
     let hdr = Ipv6Header::new(
         NodeId(1).mesh_addr(),
         NodeId(2).mesh_addr(),
@@ -38,220 +63,172 @@ fn bench_sixlowpan(c: &mut Criterion) {
     );
     let payload = vec![0x55u8; 494];
     let packet = lln_sixlowpan::compress(&hdr, NodeId(1), NodeId(2), &payload);
+    let len = packet.len() as u64;
 
-    let mut g = c.benchmark_group("sixlowpan");
-    g.throughput(Throughput::Bytes(packet.len() as u64));
-    g.bench_function("iphc_compress", |b| {
-        b.iter(|| black_box(lln_sixlowpan::compress(&hdr, NodeId(1), NodeId(2), &payload)))
+    bench("sixlowpan/iphc_compress", Some(len), 100_000, || {
+        black_box(lln_sixlowpan::compress(&hdr, NodeId(1), NodeId(2), &payload));
     });
-    g.bench_function("iphc_decompress", |b| {
-        b.iter(|| black_box(lln_sixlowpan::decompress(&packet, NodeId(1), NodeId(2))).unwrap())
+    bench("sixlowpan/iphc_decompress", Some(len), 100_000, || {
+        black_box(lln_sixlowpan::decompress(&packet, NodeId(1), NodeId(2))).unwrap();
     });
-    g.bench_function("fragment_5_frames", |b| {
-        b.iter(|| black_box(lln_sixlowpan::fragment(&packet, 7, 104)))
+    bench("sixlowpan/fragment_5_frames", None, 100_000, || {
+        black_box(lln_sixlowpan::fragment(&packet, 7, 104));
     });
-    g.bench_function("reassemble_5_frames", |b| {
-        let frags = lln_sixlowpan::fragment(&packet, 7, 104);
-        b.iter_batched(
-            lln_sixlowpan::Reassembler::default,
-            |mut r| {
-                let mut out = None;
-                for f in &frags {
-                    out = r.offer(NodeId(1), &f.bytes, Instant::ZERO);
-                }
-                black_box(out)
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    g.finish();
-}
-
-fn bench_recvbuf(c: &mut Criterion) {
-    let mut g = c.benchmark_group("recvbuf");
-    g.bench_function("in_order_write_read_1848", |b| {
-        let data = vec![7u8; 462];
-        let mut out = vec![0u8; 1848];
-        b.iter_batched(
-            || RecvBuffer::new(1848),
-            |mut rb| {
-                for _ in 0..4 {
-                    rb.write(0, &data);
-                }
-                rb.read(&mut out);
-                black_box(rb.available())
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    g.bench_function("out_of_order_reassembly", |b| {
-        let data = vec![7u8; 462];
-        b.iter_batched(
-            || RecvBuffer::new(1848),
-            |mut rb| {
-                rb.write(1386, &data); // three holes fill backwards
-                rb.write(924, &data);
-                rb.write(462, &data);
-                rb.write(0, &data);
-                black_box(rb.available())
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    g.finish();
-}
-
-fn bench_sendbuf(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sendbuf");
-    g.bench_function("push_view_advance", |b| {
-        let chunk = vec![1u8; 462];
-        b.iter_batched(
-            || SendBuffer::new(1848),
-            |mut sb| {
-                for _ in 0..4 {
-                    sb.push(&chunk);
-                }
-                let (a, bb) = sb.view(0, 462);
-                black_box((a.len(), bb.len()));
-                sb.advance(924);
-                sb.push(&chunk);
-                black_box(sb.len())
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    g.finish();
-}
-
-fn bench_red_queue(c: &mut Criterion) {
-    c.bench_function("red_queue_offer_pop", |b| {
-        b.iter_batched(
-            || (RedQueue::<u32>::new(RedConfig::default()), Rng::new(7)),
-            |(mut q, mut rng)| {
-                for i in 0..32u32 {
-                    q.offer(i, Ecn::Ect0, rng.gen_f64());
-                    if i % 2 == 0 {
-                        black_box(q.pop());
-                    }
-                }
-                black_box(q.len())
-            },
-            BatchSize::SmallInput,
-        )
+    let frags = lln_sixlowpan::fragment(&packet, 7, 104);
+    bench("sixlowpan/reassemble_5_frames", None, 50_000, || {
+        let mut r = lln_sixlowpan::Reassembler::default();
+        let mut out = None;
+        for f in &frags {
+            out = r.offer(NodeId(1), &f.bytes, Instant::ZERO);
+        }
+        black_box(out);
     });
 }
 
-fn bench_sim_primitives(c: &mut Criterion) {
-    c.bench_function("rng_next_u64", |b| {
-        let mut rng = Rng::new(1);
-        b.iter(|| black_box(rng.next_u64()))
+fn bench_recvbuf() {
+    let data = vec![7u8; 462];
+    let mut out = vec![0u8; 1848];
+    bench("recvbuf/in_order_write_read_1848", None, 50_000, || {
+        let mut rb = RecvBuffer::new(1848);
+        for _ in 0..4 {
+            rb.write(0, &data);
+        }
+        rb.read(&mut out);
+        black_box(rb.available());
     });
-    c.bench_function("event_queue_schedule_pop_1k", |b| {
-        b.iter_batched(
-            EventQueue::<u32>::new,
-            |mut q| {
-                for i in 0..1000u32 {
-                    q.schedule(Instant::from_micros(u64::from(i * 7 % 997)), i);
-                }
-                let mut n = 0;
-                while q.pop().is_some() {
-                    n += 1;
-                }
-                black_box(n)
-            },
-            BatchSize::SmallInput,
-        )
+    bench("recvbuf/out_of_order_reassembly", None, 50_000, || {
+        let mut rb = RecvBuffer::new(1848);
+        rb.write(1386, &data); // three holes fill backwards
+        rb.write(924, &data);
+        rb.write(462, &data);
+        rb.write(0, &data);
+        black_box(rb.available());
+    });
+}
+
+fn bench_sendbuf() {
+    let chunk = vec![1u8; 462];
+    bench("sendbuf/push_view_advance", None, 50_000, || {
+        let mut sb = SendBuffer::new(1848);
+        for _ in 0..4 {
+            sb.push(&chunk);
+        }
+        let (a, bb) = sb.view(0, 462);
+        black_box((a.len(), bb.len()));
+        sb.advance(924);
+        sb.push(&chunk);
+        black_box(sb.len());
+    });
+}
+
+fn bench_red_queue() {
+    bench("red_queue/offer_pop", None, 50_000, || {
+        let mut q = RedQueue::<u32>::new(RedConfig::default());
+        let mut rng = Rng::new(7);
+        for i in 0..32u32 {
+            q.offer(i, Ecn::Ect0, rng.gen_f64());
+            if i % 2 == 0 {
+                black_box(q.pop());
+            }
+        }
+        black_box(q.len());
+    });
+}
+
+fn bench_sim_primitives() {
+    let mut rng = Rng::new(1);
+    bench("sim/rng_next_u64", None, 1_000_000, || {
+        black_box(rng.next_u64());
+    });
+    bench("sim/event_queue_schedule_pop_1k", None, 5_000, || {
+        let mut q = EventQueue::<u32>::new();
+        for i in 0..1000u32 {
+            q.schedule(Instant::from_micros(u64::from(i * 7 % 997)), i);
+        }
+        let mut n = 0;
+        while q.pop().is_some() {
+            n += 1;
+        }
+        black_box(n);
     });
 }
 
 /// A full in-memory TCP transfer between two sockets (no simulator):
 /// measures raw protocol-processing throughput.
-fn bench_socket_pair(c: &mut Criterion) {
-    let mut g = c.benchmark_group("tcp_socket_pair");
-    g.sample_size(20);
-    g.throughput(Throughput::Bytes(50 * 462));
-    g.bench_function("transfer_50_segments", |b| {
-        b.iter(|| {
-            let a_addr = NodeId(1).mesh_addr();
-            let b_addr = NodeId(2).mesh_addr();
-            let mut client = TcpSocket::new(TcpConfig::default(), a_addr, 49152);
-            let listener = ListenSocket::new(TcpConfig::default(), b_addr, 80);
-            let mut t = Instant::ZERO;
-            client.connect(b_addr, 80, 1, t);
-            let syn = client.poll_transmit(t).unwrap();
-            let mut server = listener.on_segment(a_addr, &syn, 2, t).unwrap();
-            let data = vec![0xaau8; 462];
-            let mut received = 0usize;
-            let mut buf = [0u8; 2048];
-            let mut guard = 0;
-            while received < 50 * 462 && guard < 10_000 {
-                guard += 1;
-                t += Duration::from_millis(1);
-                client.send(&data);
-                client.tick(t);
-                if client.poll_at().is_some_and(|d| d <= t) {
-                    client.on_timer(t);
-                }
-                while let Some(seg) = client.poll_transmit(t) {
-                    server.on_segment(&seg, Ecn::NotCapable, t);
-                }
-                loop {
-                    let n = server.recv(&mut buf);
-                    if n == 0 {
-                        break;
-                    }
-                    received += n;
-                }
-                server.tick(t);
-                if server.poll_at().is_some_and(|d| d <= t) {
-                    server.on_timer(t);
-                }
-                while let Some(seg) = server.poll_transmit(t) {
-                    client.on_segment(&seg, Ecn::NotCapable, t);
-                }
+fn bench_socket_pair() {
+    bench("tcp_socket_pair/transfer_50_segments", Some(50 * 462), 200, || {
+        let a_addr = NodeId(1).mesh_addr();
+        let b_addr = NodeId(2).mesh_addr();
+        let mut client = TcpSocket::new(TcpConfig::default(), a_addr, 49152);
+        let listener = ListenSocket::new(TcpConfig::default(), b_addr, 80);
+        let mut t = Instant::ZERO;
+        client.connect(b_addr, 80, 1, t);
+        let syn = client.poll_transmit(t).unwrap();
+        let mut server = listener.on_segment(a_addr, &syn, 2, t).unwrap();
+        let data = vec![0xaau8; 462];
+        let mut received = 0usize;
+        let mut buf = [0u8; 2048];
+        let mut guard = 0;
+        while received < 50 * 462 && guard < 10_000 {
+            guard += 1;
+            t += Duration::from_millis(1);
+            client.send(&data);
+            client.tick(t);
+            if client.poll_at().is_some_and(|d| d <= t) {
+                client.on_timer(t);
             }
-            black_box(received)
-        })
+            while let Some(seg) = client.poll_transmit(t) {
+                server.on_segment(&seg, Ecn::NotCapable, t);
+            }
+            loop {
+                let n = server.recv(&mut buf);
+                if n == 0 {
+                    break;
+                }
+                received += n;
+            }
+            server.tick(t);
+            if server.poll_at().is_some_and(|d| d <= t) {
+                server.on_timer(t);
+            }
+            while let Some(seg) = server.poll_transmit(t) {
+                client.on_segment(&seg, Ecn::NotCapable, t);
+            }
+        }
+        black_box(received);
     });
-    g.finish();
 }
 
 /// End-to-end simulated single-hop transfer: how fast the whole world
 /// executes (simulated-seconds per wall-second proxy).
-fn bench_world(c: &mut Criterion) {
+fn bench_world() {
     use lln_node::route::Topology;
     use lln_node::stack::NodeKind;
     use lln_node::world::{World, WorldConfig};
-    let mut g = c.benchmark_group("world");
-    g.sample_size(10);
-    g.bench_function("world_single_hop_30s_sim", |b| {
-        b.iter(|| {
-            let topo = Topology::pair(0.999);
-            let mut world = World::new(
-                &topo,
-                &[NodeKind::Router, NodeKind::Router],
-                WorldConfig::default(),
-            );
-            world.add_tcp_listener(0, TcpConfig::default());
-            world.set_sink(0);
-            world.add_tcp_client(1, 0, TcpConfig::default(), Instant::from_millis(10));
-            world.set_bulk_sender(1, Some(100_000));
-            world.run_for(Duration::from_secs(30));
-            black_box(world.nodes[0].app.sink_received())
-        })
+    bench("world/single_hop_30s_sim", None, 10, || {
+        let topo = Topology::pair(0.999);
+        let mut world = World::new(
+            &topo,
+            &[NodeKind::Router, NodeKind::Router],
+            WorldConfig::default(),
+        );
+        world.add_tcp_listener(0, TcpConfig::default());
+        world.set_sink(0);
+        world.add_tcp_client(1, 0, TcpConfig::default(), Instant::from_millis(10));
+        world.set_bulk_sender(1, Some(100_000));
+        world.run_for(Duration::from_secs(30));
+        black_box(world.nodes[0].app.sink_received());
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_wire_codec,
-    bench_sixlowpan,
-    bench_recvbuf,
-    bench_sendbuf,
-    bench_red_queue,
-    bench_sim_primitives,
-    bench_socket_pair,
-    bench_world
-);
-criterion_main!(benches);
+fn main() {
+    println!("{:<40} {:>20} {:>15}", "benchmark", "time", "throughput");
+    bench_wire_codec();
+    bench_sixlowpan();
+    bench_recvbuf();
+    bench_sendbuf();
+    bench_red_queue();
+    bench_sim_primitives();
+    bench_socket_pair();
+    bench_world();
+}

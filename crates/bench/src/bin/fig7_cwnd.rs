@@ -16,10 +16,12 @@ fn main() {
     let hops = 3;
     let topo = Topology::chain(hops + 1, 0.999);
     let kinds = vec![NodeKind::Router; hops + 1];
-    let mut wc = WorldConfig::default();
-    wc.mac = MacConfig {
-        retry_delay_max: Duration::ZERO,
-        ..MacConfig::default()
+    let wc = WorldConfig {
+        mac: MacConfig {
+            retry_delay_max: Duration::ZERO,
+            ..MacConfig::default()
+        },
+        ..WorldConfig::default()
     };
     let mut world = World::new(&topo, &kinds, wc);
     world.add_tcp_listener(0, TcpConfig::default());

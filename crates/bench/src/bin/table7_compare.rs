@@ -14,10 +14,12 @@ use tcplp::TcpConfig;
 fn run_uip(hops: usize, mss_frames: usize) -> f64 {
     let topo = Topology::chain(hops + 1, 0.999);
     let kinds = vec![NodeKind::Router; hops + 1];
-    let mut wc = WorldConfig::default();
-    wc.mac = MacConfig {
-        retry_delay_max: Duration::from_millis(40),
-        ..MacConfig::default()
+    let wc = WorldConfig {
+        mac: MacConfig {
+            retry_delay_max: Duration::from_millis(40),
+            ..MacConfig::default()
+        },
+        ..WorldConfig::default()
     };
     let mut world = World::new(&topo, &kinds, wc);
     world.add_tcp_listener(0, TcpConfig::default());
@@ -50,7 +52,8 @@ fn main() {
         "stack", "one hop", "multi-hop(3)"
     );
     println!("{:-<60}", "");
-    let rows: [(&str, Box<dyn Fn(usize) -> f64>); 3] = [
+    type GoodputFn = Box<dyn Fn(usize) -> f64>;
+    let rows: [(&str, GoodputFn); 3] = [
         (
             "uIP-class (MSS 1 frame, win 1 seg)",
             Box::new(|h| run_uip(h, 1)),

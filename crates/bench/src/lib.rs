@@ -25,6 +25,7 @@
 //! | `fig12_sleep_interval` | Figure 12 (fixed sleep-interval sweep) |
 //! | `fig13_fixed_sleep` | Figure 13 (RTT distribution @ 2 s) |
 //! | `fig14_adaptive_sleep` | Figure 14 / §C.2 (adaptive interval) |
+//! | `chaos_sweep` | robustness tier: degradation + recovery under fault plans |
 
 use lln_coap::{CoapClient, CoapClientConfig, Cocoa, RtoAlgorithm};
 use lln_mac::poll::PollMode;
@@ -106,11 +107,13 @@ pub fn run_chain_bulk(p: &ChainRun) -> BulkResult {
     };
     let topo = Topology::with_shortest_paths(links);
     let kinds: Vec<NodeKind> = (0..=p.hops).map(|_| NodeKind::Router).collect();
-    let mut wc = WorldConfig::default();
-    wc.seed = p.seed;
-    wc.mac = MacConfig {
-        retry_delay_max: p.retry_delay,
-        ..MacConfig::default()
+    let wc = WorldConfig {
+        seed: p.seed,
+        mac: MacConfig {
+            retry_delay_max: p.retry_delay,
+            ..MacConfig::default()
+        },
+        ..WorldConfig::default()
     };
     let mut world = World::new(&topo, &kinds, wc);
     let (src, dst) = if p.downlink { (0, p.hops) } else { (p.hops, 0) };
@@ -285,8 +288,10 @@ fn run_app_study_inner(p: &AppRun, verbose: bool) -> AppResult {
     if p.interference.is_some() {
         kinds.push(NodeKind::Interferer);
     }
-    let mut wc = WorldConfig::default();
-    wc.seed = p.seed;
+    let wc = WorldConfig {
+        seed: p.seed,
+        ..WorldConfig::default()
+    };
     let mut world = World::new(&topo, &kinds, wc);
     world.set_injected_loss(1, p.injected_loss);
 

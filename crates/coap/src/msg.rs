@@ -286,7 +286,10 @@ fn read_ext(n: u8, rest: &[u8]) -> Option<(u16, &[u8])> {
             if rest.len() < 2 {
                 return None;
             }
-            Some((269 + u16::from_be_bytes([rest[0], rest[1]]), &rest[2..]))
+            // Values near u16::MAX would overflow the +269 bias; such
+            // deltas/lengths cannot appear in a well-formed message.
+            let v = 269u16.checked_add(u16::from_be_bytes([rest[0], rest[1]]))?;
+            Some((v, &rest[2..]))
         }
         _ => None,
     }

@@ -50,15 +50,15 @@ impl Pipe {
                 } else if self.client.backlog() == 0 {
                     break;
                 } else {
-                    self.now = self.now + Duration::from_millis(50);
+                    self.now += Duration::from_millis(50);
                     continue;
                 }
             }
             if let Some(dg) = dg {
-                self.now = self.now + self.latency;
+                self.now += self.latency;
                 if !self.rng.gen_bool(self.req_loss) {
                     if let Some(resp) = self.server.on_datagram_from(src, &dg, self.now) {
-                        self.now = self.now + self.latency;
+                        self.now += self.latency;
                         if !self.rng.gen_bool(self.resp_loss) {
                             self.client.on_datagram(&resp, self.now);
                         }

@@ -72,6 +72,18 @@ pub enum CloseReason {
     Aborted,
 }
 
+impl CloseReason {
+    /// True for reasons that indicate an unexpected connection death —
+    /// the signal a connection supervisor uses to decide whether to
+    /// reconnect (as opposed to a deliberate local/remote close).
+    pub fn is_failure(self) -> bool {
+        matches!(
+            self,
+            CloseReason::Reset | CloseReason::TooManyRetransmits | CloseReason::KeepaliveTimeout
+        )
+    }
+}
+
 /// A full-scale TCP endpoint.
 #[derive(Clone, Debug)]
 pub struct TcpSocket {
@@ -323,6 +335,7 @@ impl TcpSocket {
 
     /// Accepts a connection from a received SYN (passive open). Called
     /// by [`ListenSocket`].
+    #[allow(clippy::too_many_arguments)]
     fn accept(
         cfg: TcpConfig,
         local_addr: Ipv6Addr,
@@ -956,12 +969,15 @@ impl TcpSocket {
             self.ecn_send_ece = true;
         }
 
-        // ACK policy: immediate ACK for out-of-order data or when a hole
-        // was just filled (so the sender's SACK view updates promptly);
-        // otherwise delayed ACK every second full segment.
-        if was_ooo || self.rcvbuf.has_out_of_order() || newly > data.len() {
-            self.ack_now = true;
-        } else if !self.cfg.delayed_ack {
+        // ACK policy: immediate ACK for out-of-order data, when a hole
+        // was just filled (so the sender's SACK view updates promptly),
+        // or with delayed ACKs disabled; otherwise delayed ACK every
+        // second full segment.
+        if was_ooo
+            || self.rcvbuf.has_out_of_order()
+            || newly > data.len()
+            || !self.cfg.delayed_ack
+        {
             self.ack_now = true;
         } else {
             self.delack_segs += 1;

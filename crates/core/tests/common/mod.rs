@@ -186,6 +186,8 @@ impl Harness {
 
     /// Pushes `data` into `a` and runs until `b` has received it all
     /// (or `timeout` elapses). Returns the bytes `b` received.
+    // Shared across test binaries; not every binary calls it.
+    #[allow(dead_code)]
     pub fn transfer_a_to_b(&mut self, data: &[u8], timeout: Duration) -> Vec<u8> {
         let mut received = Vec::new();
         let mut offset = 0;

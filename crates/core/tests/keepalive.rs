@@ -79,6 +79,50 @@ fn disabled_by_default() {
 }
 
 #[test]
+fn vanished_peer_mid_transfer_hits_retransmit_bound() {
+    // The peer silently disappears *while data is in flight*: the
+    // sender must not wait for the keepalive machinery — retransmit
+    // exhaustion closes the connection first, with the failure reason
+    // a supervisor keys its reconnect decision on.
+    let cfg = TcpConfig {
+        max_retransmits: 4,
+        max_rto: Duration::from_secs(4),
+        ..ka_cfg()
+    };
+    let mut h = Harness::establish(cfg, Duration::from_millis(20));
+    h.a.send(&[0x42; 900]);
+    h.run_for(Duration::from_secs(1)); // data (partially) delivered
+    h.set_fault(|_, _, _| Fault {
+        drop: true,
+        ..Fault::default()
+    });
+    h.a.send(&[0x43; 900]); // keeps the retransmit timer armed
+    h.run_for(Duration::from_secs(60));
+    assert_eq!(h.a.state(), TcpState::Closed);
+    let reason = h.a.close_reason().expect("closed with a reason");
+    assert_eq!(reason, CloseReason::TooManyRetransmits);
+    assert!(
+        reason.is_failure(),
+        "supervisor must treat a vanished peer as a failure"
+    );
+    assert!(
+        h.a.stats.rexmit_timeouts >= 4,
+        "the bound must be reached through real retransmissions: {}",
+        h.a.stats.rexmit_timeouts
+    );
+}
+
+#[test]
+fn close_reasons_classify_for_supervision() {
+    // The supervisor reconnects only on unexpected deaths.
+    assert!(CloseReason::Reset.is_failure());
+    assert!(CloseReason::TooManyRetransmits.is_failure());
+    assert!(CloseReason::KeepaliveTimeout.is_failure());
+    assert!(!CloseReason::Normal.is_failure());
+    assert!(!CloseReason::Aborted.is_failure());
+}
+
+#[test]
 fn probe_drops_only_after_configured_count() {
     let mut h = Harness::establish(ka_cfg(), Duration::from_millis(20));
     // Drop exactly the first two probes, then restore connectivity.

@@ -54,6 +54,25 @@ pub struct MacFrame {
 /// The broadcast address.
 pub const BROADCAST: NodeId = NodeId(0xffff);
 
+/// IEEE 802.15.4 FCS: ITU-T CRC-16 (poly x^16+x^12+x^5+1, reflected
+/// 0x8408, init 0), computed over the MHR + payload. Real radios drop
+/// frames whose FCS does not verify; the fault-injection layer's
+/// bit-error bursts exercise exactly this path.
+pub fn fcs16(bytes: &[u8]) -> u16 {
+    let mut crc: u16 = 0;
+    for &b in bytes {
+        crc ^= u16::from(b);
+        for _ in 0..8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0x8408
+            } else {
+                crc >> 1
+            };
+        }
+    }
+    crc
+}
+
 impl MacFrame {
     /// Builds a data frame.
     pub fn data(src: NodeId, dst: NodeId, seq: u8, payload: Vec<u8>) -> Self {
@@ -116,7 +135,7 @@ impl MacFrame {
             b.push(fcf0);
             b.push(0);
             b.push(self.seq);
-            b.extend_from_slice(&[0, 0]); // FCS placeholder
+            b.extend_from_slice(&fcs16(&b).to_le_bytes());
             return b;
         }
         let mut b = Vec::with_capacity(self.mpdu_len());
@@ -134,14 +153,19 @@ impl MacFrame {
         b.extend_from_slice(&self.dst.eui64());
         b.extend_from_slice(&self.src.eui64());
         b.extend_from_slice(&self.payload);
-        b.extend_from_slice(&[0, 0]); // FCS placeholder (PHY model checks integrity)
+        b.extend_from_slice(&fcs16(&b).to_le_bytes());
         debug_assert!(b.len() <= MAX_MPDU, "frame too long: {}", b.len());
         b
     }
 
-    /// Decodes from wire bytes.
+    /// Decodes from wire bytes, verifying the FCS. Returns `None` for
+    /// truncated, malformed, or corrupted frames.
     pub fn decode(b: &[u8]) -> Option<MacFrame> {
-        if b.len() < ACK_MPDU_LEN {
+        if b.len() < ACK_MPDU_LEN || b.len() > MAX_MPDU {
+            return None;
+        }
+        let stored = u16::from_le_bytes([b[b.len() - 2], b[b.len() - 1]]);
+        if fcs16(&b[..b.len() - 2]) != stored {
             return None;
         }
         let ftype = b[0] & 0b111;

@@ -13,11 +13,16 @@
 //!   channel in bursts, with a day/night intensity schedule standing in
 //!   for office WiFi activity.
 
+use lln_netip::Ipv6Addr;
 use lln_sim::{Duration, Instant, Rng};
 use std::collections::VecDeque;
 
 /// An anemometer reading (82 bytes in the paper).
 pub const READING_BYTES: usize = 82;
+
+/// Captured sink bytes, one entry per remote `(address, port)` — i.e.
+/// per TCP connection incarnation.
+pub type CaptureStreams = Vec<((Ipv6Addr, u16), Vec<u8>)>;
 
 /// Application state attached to a node.
 pub enum App {
@@ -42,6 +47,11 @@ pub enum App {
         first_byte: Option<Instant>,
         /// Time of most recent byte.
         last_byte: Option<Instant>,
+        /// When enabled, received bytes are kept per remote endpoint
+        /// (one entry per TCP connection) so the chaos suite can check
+        /// byte-exact integrity with a
+        /// [`RecordAssembler`](crate::supervisor::RecordAssembler).
+        capture: Option<CaptureStreams>,
     },
     /// The §9 sensor workload.
     Anemometer(AnemometerApp),
@@ -65,8 +75,20 @@ impl App {
                 received,
                 first_byte: Some(f),
                 last_byte: Some(l),
+                ..
             } if l > f => (*received as f64 * 8.0) / (*l - *f).as_secs_f64(),
             _ => 0.0,
+        }
+    }
+
+    /// Captured per-connection byte streams (empty unless the sink was
+    /// configured with capture enabled).
+    pub fn sink_capture(&self) -> &[((Ipv6Addr, u16), Vec<u8>)] {
+        match self {
+            App::Sink {
+                capture: Some(c), ..
+            } => c,
+            _ => &[],
         }
     }
 }
@@ -274,6 +296,7 @@ mod tests {
             received: 12_500,
             first_byte: Some(Instant::from_secs(10)),
             last_byte: Some(Instant::from_secs(20)),
+            capture: None,
         };
         assert!((app.sink_goodput_bps() - 10_000.0).abs() < 1e-9);
         assert_eq!(app.sink_received(), 12_500);

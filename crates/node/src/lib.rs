@@ -14,12 +14,16 @@
 //! application study (§9).
 
 pub mod app;
+pub mod fault;
 pub mod route;
 pub mod stack;
+pub mod supervisor;
 pub mod trace;
 pub mod world;
 
+pub use fault::{FaultEvent, FaultPlan};
 pub use route::{RouteTable, Topology};
 pub use stack::{Node, NodeKind, TransportKind, TransportStack};
+pub use supervisor::{RecordAssembler, SupervisedConnection, SupervisorConfig, SupervisorStats};
 pub use trace::{PacketTrace, TraceDir};
 pub use world::{World, WorldConfig};

@@ -105,11 +105,12 @@ impl Topology {
                     }
                 }
             }
-            for dst in 0..n {
-                if dst != src {
-                    if let Some(fh) = first_hop[dst] {
-                        routes[src].insert(NodeId(dst as u16), NodeId(fh as u16));
-                    }
+            for (dst, fh) in first_hop.iter().enumerate() {
+                if dst == src {
+                    continue;
+                }
+                if let Some(fh) = fh {
+                    routes[src].insert(NodeId(dst as u16), NodeId(*fh as u16));
                 }
             }
         }

@@ -7,6 +7,7 @@
 
 use crate::app::App;
 use crate::route::RouteTable;
+use crate::supervisor::SupervisedConnection;
 use lln_coap::{CoapClient, CoapServer};
 use lln_energy::EnergyMeter;
 use lln_mac::csma::{MacConfig, TxProcess};
@@ -163,6 +164,15 @@ pub struct Node {
     /// Duplicate detection: last seq seen per neighbour.
     pub last_rx_seq: HashMap<NodeId, u8>,
 
+    // --- fault state ---
+    /// True while the node is powered off (mid-reboot): it neither
+    /// transmits, receives, nor runs timers, but its energy meter keeps
+    /// accumulating (battery time passes).
+    pub down: bool,
+    /// Per-bit flip probability applied to frames this node receives
+    /// (set during a [`crate::fault::FaultEvent::BitErrorBurst`]).
+    pub ber: Option<f64>,
+
     // --- radio state ---
     /// Radio powered (sleepy leaves toggle this).
     pub awake: bool,
@@ -211,6 +221,9 @@ pub struct Node {
     pub transport_kind: TransportKind,
     /// Pending transport-timer token.
     pub transport_timer: Option<EventToken>,
+    /// Reconnecting connection supervisor (survives reboots, like a
+    /// flash-backed record queue).
+    pub supervisor: Option<SupervisedConnection>,
     /// Application.
     pub app: App,
 
@@ -240,6 +253,8 @@ impl Node {
             // ACKs rarely carry a matching sequence number.
             mac_seq: (id.0 as u8).wrapping_mul(37),
             last_rx_seq: HashMap::new(),
+            down: false,
+            ber: None,
             awake,
             listen_since: now,
             transmitting: false,
@@ -258,6 +273,7 @@ impl Node {
             transport: TransportStack::default(),
             transport_kind: TransportKind::None,
             transport_timer: None,
+            supervisor: None,
             app: App::None,
             meter,
             counters: Counters::new(),

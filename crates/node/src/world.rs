@@ -7,8 +7,10 @@
 //! ordering, no wall clock.
 
 use crate::app::{AnemometerApp, App, InterfererApp, READING_BYTES};
+use crate::fault::{FaultEvent, FaultPlan};
 use crate::route::Topology;
 use crate::stack::{CurrentTx, Node, NodeKind, OutPacket, TransportKind};
+use crate::supervisor::{SupervisedConnection, SupervisorConfig, SupervisorStats};
 use lln_coap::{CoapClient, CoapServer};
 use lln_energy::RadioState;
 use lln_mac::csma::{MacConfig, TxProcess, TxStep};
@@ -89,6 +91,20 @@ pub enum Event {
     InterfererStart(usize),
     /// Interferer burst ends.
     InterfererEnd(usize),
+    /// Fault: node loses power for the given span.
+    FaultRebootDown(usize, Duration),
+    /// Fault: node cold-boots after a reboot.
+    FaultRebootUp(usize),
+    /// Fault: link a↔b goes dark for the given span.
+    FaultBlackoutStart(usize, usize, Duration),
+    /// Fault: blackout over; restore the saved PRRs (a→b, b→a).
+    FaultBlackoutEnd(usize, usize, f64, f64),
+    /// Fault: node reselects its routing parent.
+    FaultRouteFlap(usize),
+    /// Fault: receiver-side bit errors at the given BER for the span.
+    FaultBerStart(usize, f64, Duration),
+    /// Fault: bit-error burst over.
+    FaultBerEnd(usize),
 }
 
 /// The simulation world.
@@ -153,11 +169,11 @@ impl World {
         // Default routes for everyone toward the border (for the cloud
         // prefix).
         if let Some(b) = border {
-            for i in 0..nodes.len() {
-                if i != b && nodes[i].kind != NodeKind::CloudHost {
-                    let via = nodes[i].routes.lookup(NodeId(b as u16));
-                    if nodes[i].routes.default_route.is_none() {
-                        nodes[i].routes.default_route = via;
+            for (i, node) in nodes.iter_mut().enumerate() {
+                if i != b && node.kind != NodeKind::CloudHost {
+                    let via = node.routes.lookup(NodeId(b as u16));
+                    if node.routes.default_route.is_none() {
+                        node.routes.default_route = via;
                     }
                 }
             }
@@ -283,7 +299,75 @@ impl World {
             received: 0,
             first_byte: None,
             last_byte: None,
+            capture: None,
         };
+    }
+
+    /// Configures `node` as a sink that additionally keeps every
+    /// received byte, per connection, for integrity checks (chaos
+    /// suite).
+    pub fn set_sink_capture(&mut self, node: usize) {
+        self.nodes[node].app = App::Sink {
+            received: 0,
+            first_byte: None,
+            last_byte: None,
+            capture: Some(Vec::new()),
+        };
+    }
+
+    /// Installs a supervised (auto-reconnecting, record-replaying) TCP
+    /// client on `client` targeting the listener on `server`; the first
+    /// connect is issued at `at`. See [`crate::supervisor`].
+    pub fn add_supervised_client(
+        &mut self,
+        client: usize,
+        server: usize,
+        cfg: SupervisorConfig,
+        at: Instant,
+    ) {
+        let caddr = self.nodes[client].ip_addr();
+        let saddr = self.nodes[server].ip_addr();
+        // A fresh ephemeral-port range per client: each reconnect uses
+        // the next port so connections are distinguishable server-side.
+        let base_port = 49152 + 128 * client as u16;
+        let rng = self.rng.fork(0x50F0 + client as u64);
+        self.nodes[client].supervisor = Some(SupervisedConnection::new(
+            cfg, caddr, saddr, TCP_PORT, base_port, at, rng,
+        ));
+        self.nodes[client].transport_kind = TransportKind::Tcplp;
+        self.queue.schedule(at, Event::TransportTimer(client));
+    }
+
+    /// The supervisor's counters on `node`, if it runs one.
+    pub fn supervisor_stats(&self, node: usize) -> Option<SupervisorStats> {
+        self.nodes[node].supervisor.as_ref().map(|s| *s.stats())
+    }
+
+    /// Schedules every event of `plan` on the sim event queue. Events
+    /// execute in deterministic order with everything else, so a run
+    /// with a fixed seed and a fixed plan replays bit-identically.
+    pub fn apply_fault_plan(&mut self, plan: &FaultPlan) {
+        for ev in plan.events() {
+            match *ev {
+                FaultEvent::NodeReboot { node, at, down_for } => {
+                    self.queue.schedule(at, Event::FaultRebootDown(node, down_for));
+                }
+                FaultEvent::LinkBlackout { a, b, at, duration } => {
+                    self.queue.schedule(at, Event::FaultBlackoutStart(a, b, duration));
+                }
+                FaultEvent::RouteFlap { node, at } => {
+                    self.queue.schedule(at, Event::FaultRouteFlap(node));
+                }
+                FaultEvent::BitErrorBurst {
+                    node,
+                    at,
+                    duration,
+                    ber,
+                } => {
+                    self.queue.schedule(at, Event::FaultBerStart(node, ber, duration));
+                }
+            }
+        }
     }
 
     /// Configures the anemometer app on `node`, readings starting at
@@ -331,10 +415,7 @@ impl World {
 
     /// Runs until `deadline`.
     pub fn run_until(&mut self, deadline: Instant) {
-        loop {
-            let Some(t) = self.queue.peek_time() else {
-                break;
-            };
+        while let Some(t) = self.queue.peek_time() {
             if t > deadline {
                 break;
             }
@@ -350,6 +431,9 @@ impl World {
     }
 
     fn dispatch(&mut self, now: Instant, ev: Event) {
+        if self.guard_down_node(&ev, now) {
+            return;
+        }
         match ev {
             Event::MacTimer(i) => self.on_mac_timer(i, now),
             Event::CcaDone(i) => self.on_cca_done(i, now),
@@ -367,6 +451,302 @@ impl World {
             }
             Event::InterfererStart(i) => self.on_interferer_start(i, now),
             Event::InterfererEnd(i) => self.on_interferer_end(i, now),
+            Event::FaultRebootDown(i, span) => self.on_fault_reboot_down(i, span, now),
+            Event::FaultRebootUp(i) => self.on_fault_reboot_up(i, now),
+            Event::FaultBlackoutStart(a, b, span) => {
+                self.on_fault_blackout_start(a, b, span, now);
+            }
+            Event::FaultBlackoutEnd(a, b, pab, pba) => {
+                self.on_fault_blackout_end(a, b, pab, pba, now);
+            }
+            Event::FaultRouteFlap(i) => self.on_fault_route_flap(i, now),
+            Event::FaultBerStart(i, ber, span) => self.on_fault_ber_start(i, ber, span, now),
+            Event::FaultBerEnd(i) => {
+                self.nodes[i].ber = None;
+            }
+        }
+    }
+
+    /// Swallows events addressed to a powered-off node, preserving the
+    /// medium invariant (every `begin_tx` is matched by one `end_tx`)
+    /// for transmissions the reboot cut mid-air. Returns true when the
+    /// event was consumed.
+    fn guard_down_node(&mut self, ev: &Event, now: Instant) -> bool {
+        let target = match ev {
+            Event::MacTimer(i)
+            | Event::CcaDone(i)
+            | Event::SpiDone(i)
+            | Event::AckTimeout(i)
+            | Event::TransportTimer(i)
+            | Event::PollWake(i)
+            | Event::PollWindowEnd(i)
+            | Event::AppTick(i)
+            | Event::AirDone(i)
+            | Event::LinkAckDone(i)
+            | Event::LinkAckStart(i, _, _)
+            | Event::WiredDeliver(i, _, _)
+            | Event::InterfererStart(i)
+            | Event::InterfererEnd(i) => *i,
+            _ => return false,
+        };
+        if !self.nodes[target].down {
+            return false;
+        }
+        match ev {
+            Event::AppTick(i) => {
+                // The sensing schedule resumes after boot; readings
+                // that would have been taken while down are lost at
+                // the source (the mote was off).
+                if let App::Anemometer(app) = &self.nodes[*i].app {
+                    let iv = app.interval;
+                    self.queue.schedule(now + iv, Event::AppTick(*i));
+                }
+            }
+            Event::WiredDeliver(i, _, _) => {
+                self.nodes[*i].counters.inc("down_drops");
+            }
+            Event::AirDone(i) => {
+                // Our own frame was mid-air when the power died: the
+                // transmission is cut, nobody decodes it, but the
+                // medium record must still close.
+                if let Some(tx) = self.nodes[*i].cur_tx.take() {
+                    if let Some(handle) = tx.handle {
+                        self.medium.end_tx(handle, &[]);
+                    }
+                    if let Some(tok) = tx.timer {
+                        self.queue.cancel(tok);
+                    }
+                }
+            }
+            Event::LinkAckDone(i) => {
+                if let Some((handle, _, _)) = self.ack_handles.remove(i) {
+                    self.medium.end_tx(handle, &[]);
+                }
+            }
+            Event::InterfererEnd(i) => {
+                if let Some((handle, _)) = self.interferer_handles.remove(i) {
+                    self.medium.end_tx(handle, &[]);
+                }
+            }
+            _ => {}
+        }
+        true
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection
+    // ------------------------------------------------------------------
+
+    fn on_fault_reboot_down(&mut self, i: usize, down_for: Duration, now: Instant) {
+        if self.nodes[i].down {
+            return;
+        }
+        // A frame already on the air is cut but its medium record stays
+        // open until the scheduled AirDone performs cleanup (see
+        // `guard_down_node`); anything earlier in the tx pipeline is
+        // dropped right now.
+        let mid_air = self.nodes[i]
+            .cur_tx
+            .as_ref()
+            .is_some_and(|t| t.handle.is_some());
+        if !mid_air {
+            if let Some(tx) = self.nodes[i].cur_tx.take() {
+                if let Some(tok) = tx.timer {
+                    self.queue.cancel(tok);
+                }
+            }
+        }
+        let tokens: Vec<_> = {
+            let n = &mut self.nodes[i];
+            [
+                n.poll_timer.take(),
+                n.poll_window.take(),
+                n.transport_timer.take(),
+            ]
+            .into_iter()
+            .flatten()
+            .collect()
+        };
+        for tok in tokens {
+            self.queue.cancel(tok);
+        }
+        {
+            let n = &mut self.nodes[i];
+            n.down = true;
+            n.counters.inc("reboots");
+            n.transmitting = false;
+            n.awake = false;
+            // Volatile state dies with the power...
+            n.ctrl_queue.clear();
+            n.cur_packet_frames.clear();
+            while n.ip_queue.pop().is_some() {}
+            n.reassembler = lln_sixlowpan::Reassembler::default();
+            n.last_rx_seq.clear();
+            n.indirect.clear();
+            n.polling = false;
+            n.poll_got_frame = false;
+            n.transport.tcp.clear();
+            n.transport.uip = None;
+            // ...but the battery does not: the meter keeps integrating,
+            // with the radio accounted as asleep while down.
+            n.meter.set_radio_state(RadioState::Sleep, now);
+        }
+        self.trace.record(
+            now,
+            self.nodes[i].id,
+            crate::trace::TraceDir::Drop,
+            format!("fault: reboot (down {down_for})"),
+        );
+        self.queue.schedule(now + down_for, Event::FaultRebootUp(i));
+    }
+
+    fn on_fault_reboot_up(&mut self, i: usize, now: Instant) {
+        if !self.nodes[i].down {
+            return;
+        }
+        let kind = self.nodes[i].kind;
+        {
+            let n = &mut self.nodes[i];
+            n.down = false;
+            n.counters.inc("boots");
+            n.listen_since = now;
+        }
+        match kind {
+            NodeKind::SleepyLeaf => {
+                // Cold boot: the leaf stays asleep and re-joins its
+                // poll schedule after a deterministic boot delay.
+                let boot = Duration::from_millis(50 + 37 * i as u64);
+                let tok = self.queue.schedule(now + boot, Event::PollWake(i));
+                self.nodes[i].poll_timer = Some(tok);
+            }
+            NodeKind::CloudHost | NodeKind::Interferer => {}
+            _ => {
+                self.nodes[i].awake = true;
+                self.nodes[i].meter.set_radio_state(RadioState::Rx, now);
+            }
+        }
+        // Restart the transport layer: the supervisor (its record queue
+        // survives in "flash") notices its socket vanished and begins
+        // reconnecting.
+        self.queue.schedule(now, Event::TransportTimer(i));
+    }
+
+    fn on_fault_blackout_start(&mut self, a: usize, b: usize, span: Duration, now: Instant) {
+        let links = self.medium.links();
+        let pab = links.prr(RadioIdx(a), RadioIdx(b));
+        let pba = links.prr(RadioIdx(b), RadioIdx(a));
+        // PRR to zero but still audible: energy on the channel remains
+        // detectable (CCA, collisions) — only reception dies.
+        self.medium.links_mut().set_link(RadioIdx(a), RadioIdx(b), 0.0);
+        self.medium.links_mut().set_link(RadioIdx(b), RadioIdx(a), 0.0);
+        self.nodes[a].counters.inc("link_blackouts");
+        self.queue
+            .schedule(now + span, Event::FaultBlackoutEnd(a, b, pab, pba));
+    }
+
+    fn on_fault_blackout_end(&mut self, a: usize, b: usize, pab: f64, pba: f64, _now: Instant) {
+        self.medium.links_mut().set_link(RadioIdx(a), RadioIdx(b), pab);
+        self.medium.links_mut().set_link(RadioIdx(b), RadioIdx(a), pba);
+    }
+
+    fn on_fault_route_flap(&mut self, i: usize, now: Instant) {
+        self.nodes[i].counters.inc("route_flaps");
+        let anchor = self.border.unwrap_or(0);
+        if i == anchor {
+            return;
+        }
+        let old_parent = self
+            .nodes[i]
+            .routes
+            .default_route
+            .or_else(|| self.nodes[i].routes.lookup(NodeId(anchor as u16)));
+        let Some(old_parent) = old_parent else {
+            return;
+        };
+        // Recompute this node's routes with the current-parent edge
+        // excluded, as a routing protocol reacting to link churn would.
+        // If no alternative parent reaches the anchor, keep the old
+        // routes (the flap is transient; counted but harmless).
+        let mut links = self.medium.links().clone();
+        links.set_link(RadioIdx(i), RadioIdx(old_parent.0 as usize), 0.0);
+        links.set_link(RadioIdx(old_parent.0 as usize), RadioIdx(i), 0.0);
+        let topo = Topology::with_shortest_paths(links);
+        let mut new_rt = topo.routes[i].clone();
+        let Some(new_parent) = new_rt.lookup(NodeId(anchor as u16)) else {
+            return;
+        };
+        new_rt.default_route = Some(new_parent);
+        self.nodes[i].routes = new_rt;
+        if self.nodes[i].kind == NodeKind::SleepyLeaf {
+            let id = self.nodes[i].id;
+            self.nodes[old_parent.0 as usize].sleepy_children.remove(&id);
+            self.nodes[new_parent.0 as usize].sleepy_children.insert(id);
+        }
+        self.trace.record(
+            now,
+            self.nodes[i].id,
+            crate::trace::TraceDir::Forward,
+            format!("fault: route flap, parent {} -> {}", old_parent.0, new_parent.0),
+        );
+    }
+
+    fn on_fault_ber_start(&mut self, i: usize, ber: f64, span: Duration, now: Instant) {
+        self.nodes[i].ber = Some(ber);
+        self.nodes[i].counters.inc("ber_bursts");
+        self.queue.schedule(now + span, Event::FaultBerEnd(i));
+    }
+
+    /// Decodes `encoded` as received by `rx` during a bit-error burst:
+    /// each bit flips independently at the node's BER (sampled by
+    /// geometric skips from the world RNG), then the frame goes through
+    /// the real decoder, whose FCS check rejects nearly all corruption.
+    fn ber_decode(&mut self, rx: usize, encoded: &[u8]) -> Option<MacFrame> {
+        let ber = self.nodes[rx].ber.unwrap_or(0.0);
+        let mut bytes = encoded.to_vec();
+        let nbits = (bytes.len() * 8) as u64;
+        if ber > 0.0 {
+            let mut idx: u64 = 0;
+            let mut flipped = false;
+            loop {
+                let u = self.rng.gen_f64();
+                let skip = if ber >= 1.0 {
+                    0.0
+                } else {
+                    (1.0 - u).ln() / (1.0 - ber).ln()
+                };
+                idx += skip as u64;
+                if idx >= nbits {
+                    break;
+                }
+                bytes[(idx / 8) as usize] ^= 1 << (idx % 8);
+                flipped = true;
+                idx += 1;
+            }
+            if flipped {
+                self.nodes[rx].counters.inc("ber_corrupted_frames");
+            }
+        }
+        MacFrame::decode(&bytes)
+    }
+
+    /// Delivers a received transmission to `rx`, applying bit errors
+    /// when a burst is active there.
+    fn deliver_encoded(&mut self, rx: usize, frame: &MacFrame, encoded: &[u8], now: Instant) {
+        if self.nodes[rx].ber.is_none() {
+            self.deliver_frame(rx, frame.clone(), now);
+            return;
+        }
+        match self.ber_decode(rx, encoded) {
+            Some(f) => self.deliver_frame(rx, f, now),
+            None => {
+                self.nodes[rx].counters.inc("fcs_drops");
+                self.trace.record(
+                    now,
+                    self.nodes[rx].id,
+                    crate::trace::TraceDir::Drop,
+                    "FCS check failed (bit errors)",
+                );
+            }
         }
     }
 
@@ -416,7 +796,7 @@ impl World {
 
     /// Starts the next MAC transmission if idle.
     fn kick_mac(&mut self, i: usize, now: Instant) {
-        if self.nodes[i].kind == NodeKind::CloudHost {
+        if self.nodes[i].kind == NodeKind::CloudHost || self.nodes[i].down {
             return;
         }
         if self.nodes[i].cur_tx.is_some() {
@@ -578,6 +958,7 @@ impl World {
         };
         let Some(handle) = tx.handle else { return };
         let frame = tx.frame.clone();
+        let encoded = tx.encoded.clone();
         let air = self.cfg.phy.air_time(tx.encoded.len());
         let start = now - air;
         // Sender returns to listening.
@@ -589,7 +970,7 @@ impl World {
         let outcomes = self.medium.end_tx(handle, &listeners);
         for (rx, ok) in outcomes {
             if ok {
-                self.deliver_frame(rx.0, frame.clone(), now);
+                self.deliver_encoded(rx.0, &frame, &encoded, now);
             }
         }
         // Advance the transmit state machine.
@@ -792,9 +1173,10 @@ impl World {
         self.nodes[i].meter.set_radio_state(RadioState::Rx, now);
         let listeners = self.listeners_since(start, i);
         let outcomes = self.medium.end_tx(handle, &listeners);
+        let encoded = ack.encode();
         for (rx, ok) in outcomes {
             if ok {
-                self.deliver_frame(rx.0, ack.clone(), now);
+                self.deliver_encoded(rx.0, &ack, &encoded, now);
             }
         }
     }
@@ -1075,19 +1457,31 @@ impl World {
     /// Pumps every transport on node `i`: applications feed sockets,
     /// sockets emit segments, timers are rescheduled.
     pub fn pump_transport(&mut self, i: usize, now: Instant) {
+        if self.nodes[i].down {
+            return;
+        }
         self.app_feed(i, now);
         // Drain sinks before polling sockets so window-update ACKs
         // (generated by `recv`) ride out in this pump.
         self.app_drain(i, now);
-
-        // TCP sockets.
-        let my_addr = self.nodes[i].ip_addr();
-        let mut out: Vec<(Ipv6Header, Vec<u8>)> = Vec::new();
+        // Advance TCP timers *before* supervision: a socket that dies
+        // on this very tick (retransmit exhaustion, keepalive timeout)
+        // must be seen by the supervisor in the same pump, or nothing
+        // ever reschedules this node's transport timer again.
         for s in self.nodes[i].transport.tcp.iter_mut() {
             s.tick(now);
             if s.poll_at().is_some_and(|t| t <= now) {
                 s.on_timer(now);
             }
+        }
+        // Connection supervision: feed/track the supervised socket,
+        // detect deaths, and install reconnect attempts.
+        self.supervise(i, now);
+
+        // TCP sockets.
+        let my_addr = self.nodes[i].ip_addr();
+        let mut out: Vec<(Ipv6Header, Vec<u8>)> = Vec::new();
+        for s in self.nodes[i].transport.tcp.iter_mut() {
             let ecn_data = s.ecn_active();
             while let Some(seg) = s.poll_transmit(now) {
                 let (raddr, _) = s.remote();
@@ -1146,6 +1540,57 @@ impl World {
         self.maybe_sleep(i, now);
     }
 
+    /// Runs the node's connection supervisor (if any): one poll step,
+    /// with its counter deltas mirrored into the node's `Counters` and
+    /// lifecycle transitions logged to the trace.
+    fn supervise(&mut self, i: usize, now: Instant) {
+        let Some(mut sup) = self.nodes[i].supervisor.take() else {
+            return;
+        };
+        let before = *sup.stats();
+        let res = sup.poll(self.nodes[i].transport.tcp.first_mut(), now);
+        let after = *sup.stats();
+        {
+            let n = &mut self.nodes[i];
+            n.counters.add("sup_reconnects", after.reconnects - before.reconnects);
+            n.counters.add("sup_deaths", after.deaths - before.deaths);
+            n.counters.add(
+                "sup_records_replayed",
+                after.records_replayed - before.records_replayed,
+            );
+            n.counters.add(
+                "sup_connect_attempts",
+                after.connect_attempts - before.connect_attempts,
+            );
+            n.counters.add("sup_downtime_us", after.downtime_us - before.downtime_us);
+        }
+        if res.died {
+            self.trace.record(
+                now,
+                self.nodes[i].id,
+                crate::trace::TraceDir::Drop,
+                "supervisor: connection died",
+            );
+        }
+        if res.reconnected {
+            self.trace.record(
+                now,
+                self.nodes[i].id,
+                crate::trace::TraceDir::Deliver,
+                "supervisor: reconnected",
+            );
+        }
+        if let Some(sock) = res.replace {
+            let tcp = &mut self.nodes[i].transport.tcp;
+            if tcp.is_empty() {
+                tcp.push(sock);
+            } else {
+                tcp[0] = sock;
+            }
+        }
+        self.nodes[i].supervisor = Some(sup);
+    }
+
     fn adjust_fast_poll(&mut self, i: usize, now: Instant) {
         if self.nodes[i].kind != NodeKind::SleepyLeaf || self.nodes[i].awake {
             return;
@@ -1182,6 +1627,11 @@ impl World {
                 next = Some(next.map_or(t, |cur: Instant| cur.min(t)));
             }
         }
+        if let Some(sup) = &self.nodes[i].supervisor {
+            if let Some(t) = sup.wake_at() {
+                next = Some(next.map_or(t, |cur: Instant| cur.min(t)));
+            }
+        }
         if let Some(tok) = self.nodes[i].transport_timer.take() {
             self.queue.cancel(tok);
         }
@@ -1205,6 +1655,47 @@ impl World {
     fn app_feed(&mut self, i: usize, _now: Instant) {
         let node = &mut self.nodes[i];
         match &mut node.app {
+            // Supervised bulk sender: chunk the byte stream into
+            // records and hand them to the supervisor, which retains
+            // them until acknowledged (backpressure via `can_accept`).
+            App::BulkSender {
+                limit,
+                sent,
+                pattern,
+            } if node.supervisor.is_some() => {
+                let sup = node.supervisor.as_mut().expect("guarded");
+                const RECORD_PAYLOAD: usize = 454;
+                loop {
+                    let want = match limit {
+                        Some(l) => ((*l - *sent) as usize).min(RECORD_PAYLOAD),
+                        None => RECORD_PAYLOAD,
+                    };
+                    if want == 0 || !sup.can_accept(want) {
+                        break;
+                    }
+                    let chunk: Vec<u8> =
+                        (0..want).map(|k| (*pattern as usize + k) as u8).collect();
+                    sup.submit(&chunk);
+                    *sent += want as u64;
+                    *pattern = pattern.wrapping_add(want as u8);
+                }
+            }
+            // Supervised anemometer: each reading is one record; the
+            // supervisor's retention buffer is the flash queue, so
+            // readings survive reboots and replay after reconnects.
+            App::Anemometer(app)
+                if node.supervisor.is_some() && app.draining_allowed(app.draining) =>
+            {
+                app.draining = true;
+                let sup = node.supervisor.as_mut().expect("guarded");
+                while !app.queue.is_empty() && sup.can_accept(READING_BYTES) {
+                    let r = app.pop_reading().expect("non-empty");
+                    sup.submit(&r);
+                }
+                if app.queue.is_empty() {
+                    app.draining = false;
+                }
+            }
             App::BulkSender {
                 limit,
                 sent,
@@ -1285,6 +1776,7 @@ impl World {
             received,
             first_byte,
             last_byte,
+            capture,
         } = &mut node.app
         {
             let mut buf = [0u8; 2048];
@@ -1299,6 +1791,15 @@ impl World {
                         *first_byte = Some(now);
                     }
                     *last_byte = Some(now);
+                    if let Some(cap) = capture.as_mut() {
+                        // Keyed by remote endpoint: one entry per TCP
+                        // connection (reconnects use fresh ports).
+                        let key = s.remote();
+                        match cap.iter_mut().find(|(k, _)| *k == key) {
+                            Some((_, bytes)) => bytes.extend_from_slice(&buf[..n]),
+                            None => cap.push((key, buf[..n].to_vec())),
+                        }
+                    }
                 }
             }
         }

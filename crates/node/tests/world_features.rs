@@ -68,13 +68,11 @@ fn red_ecn_marks_instead_of_dropping() {
 #[test]
 fn interference_degrades_throughput() {
     let run = |with_interferer: bool| {
-        let mut links = LinkMatrix::chain(2, 0.999);
-        // Extend matrix with the interferer radio.
-        let mut big = LinkMatrix::new(3);
-        big.set_symmetric(RadioIdx(0), RadioIdx(1), 0.999);
-        big.set_interference(RadioIdx(2), RadioIdx(0));
-        big.set_interference(RadioIdx(2), RadioIdx(1));
-        links = big;
+        // One link plus an interferer radio audible at both ends.
+        let mut links = LinkMatrix::new(3);
+        links.set_symmetric(RadioIdx(0), RadioIdx(1), 0.999);
+        links.set_interference(RadioIdx(2), RadioIdx(0));
+        links.set_interference(RadioIdx(2), RadioIdx(1));
         let topo = Topology::with_shortest_paths(links);
         let mut world = World::new(
             &topo,

@@ -23,8 +23,10 @@ fn build_world(seed: u64) -> World {
     links.set_symmetric(RadioIdx(3), RadioIdx(4), prr);
     links.set_symmetric(RadioIdx(3), RadioIdx(5), prr);
     let topo = Topology::with_shortest_paths(links);
-    let mut cfg = WorldConfig::default();
-    cfg.seed = seed;
+    let cfg = WorldConfig {
+        seed,
+        ..WorldConfig::default()
+    };
     World::new(
         &topo,
         &[

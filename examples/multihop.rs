@@ -15,10 +15,12 @@ use tcplp_repro::tcplp::TcpConfig;
 fn run(d: Duration) -> (f64, f64, u64) {
     let hops = 3;
     let topo = Topology::chain(hops + 1, 0.999);
-    let mut cfg = WorldConfig::default();
-    cfg.mac = MacConfig {
-        retry_delay_max: d,
-        ..MacConfig::default()
+    let cfg = WorldConfig {
+        mac: MacConfig {
+            retry_delay_max: d,
+            ..MacConfig::default()
+        },
+        ..WorldConfig::default()
     };
     let mut world = World::new(&topo, &vec![NodeKind::Router; hops + 1], cfg);
     world.add_tcp_listener(0, TcpConfig::default());

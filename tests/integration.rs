@@ -15,11 +15,13 @@ use tcplp_repro::tcplp::TcpConfig;
 
 fn chain_world(hops: usize, prr: f64, d_ms: u64, seed: u64) -> World {
     let topo = Topology::chain(hops + 1, prr);
-    let mut cfg = WorldConfig::default();
-    cfg.seed = seed;
-    cfg.mac = MacConfig {
-        retry_delay_max: Duration::from_millis(d_ms),
-        ..MacConfig::default()
+    let cfg = WorldConfig {
+        seed,
+        mac: MacConfig {
+            retry_delay_max: Duration::from_millis(d_ms),
+            ..MacConfig::default()
+        },
+        ..WorldConfig::default()
     };
     World::new(&topo, &vec![NodeKind::Router; hops + 1], cfg)
 }
