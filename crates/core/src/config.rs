@@ -57,6 +57,13 @@ pub struct TcpConfig {
     pub keepalive_interval: Duration,
     /// Unanswered probes before the connection is dropped.
     pub keepalive_probes: u32,
+    /// RFC 5961 §5: maximum challenge ACKs sent per
+    /// [`TcpConfig::challenge_ack_window`]. Forged in-window RST/SYN
+    /// floods beyond this budget are dropped silently, bounding the
+    /// ACK-reflection work (and radio energy) an attacker can induce.
+    pub challenge_ack_limit: u32,
+    /// The window over which the challenge-ACK budget refills.
+    pub challenge_ack_window: Duration,
 }
 
 impl Default for TcpConfig {
@@ -83,6 +90,8 @@ impl Default for TcpConfig {
             keepalive_idle: None,
             keepalive_interval: Duration::from_secs(10),
             keepalive_probes: 4,
+            challenge_ack_limit: 10,
+            challenge_ack_window: Duration::from_secs(1),
         }
     }
 }

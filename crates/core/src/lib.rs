@@ -54,7 +54,7 @@ pub use cc::NewReno;
 pub use config::TcpConfig;
 pub use recvbuf::RecvBuffer;
 pub use rtt::RttEstimator;
-pub use sack::SackScoreboard;
+pub use sack::{SackScoreboard, SackUpdate};
 pub use sendbuf::SendBuffer;
 pub use seq::TcpSeq;
 pub use socket::{reset_for, CloseReason, ListenSocket, TcpSocket, TcpState};

@@ -29,6 +29,10 @@ pub struct RecvBuffer {
     /// stream head (i.e. offset 0 == first undelivered byte... measured
     /// from `rcv_nxt`), kept sorted and disjoint. Used for SACK blocks.
     ranges: Vec<(usize, usize)>,
+    /// Overlap-policy violations refused: a later write carried a byte
+    /// that *differed* from one already held at the same stream
+    /// position (first write wins; see [`RecvBuffer::write`]).
+    conflicts: u64,
 }
 
 impl RecvBuffer {
@@ -41,6 +45,7 @@ impl RecvBuffer {
             head: 0,
             avail: 0,
             ranges: Vec::new(),
+            conflicts: 0,
         }
     }
 
@@ -63,6 +68,12 @@ impl RecvBuffer {
     /// True when the buffer holds any out-of-order data.
     pub fn has_out_of_order(&self) -> bool {
         !self.ranges.is_empty()
+    }
+
+    /// Count of refused conflicting rewrites (overlapping writes whose
+    /// byte value differed from the one already held).
+    pub fn conflicts(&self) -> u64 {
+        self.conflicts
     }
 
     /// Current out-of-order ranges as offsets from `rcv_nxt`
@@ -88,6 +99,14 @@ impl RecvBuffer {
     /// `rcv_nxt` (offset 0 = in order). Bytes outside the window are
     /// discarded. Returns the number of *newly in-sequence* bytes made
     /// available by this write (0 for pure out-of-order arrivals).
+    ///
+    /// Overlap policy: **first write wins**. A byte position already
+    /// holding out-of-order data is never rewritten — a retransmission
+    /// (or a forged overlapping segment) carrying different bytes for
+    /// the same sequence range cannot alter what will be delivered.
+    /// Delivered (absorbed) bytes are unreachable by construction,
+    /// since `offset` counts from `rcv_nxt`. Conflicting rewrites are
+    /// tallied in [`RecvBuffer::conflicts`].
     pub fn write(&mut self, offset: usize, data: &[u8]) -> usize {
         let cap = self.capacity();
         // The valid stream span we may hold is [avail, window) for new
@@ -105,11 +124,14 @@ impl RecvBuffer {
             }
             let pos = (self.head + self.avail + k) % cap;
             // k counts from rcv_nxt; k < 0 impossible (caller trims).
-            self.buf[pos] = b;
-            if k > 0 || offset > 0 {
-                // Provisionally mark; absorbed below if contiguous.
-                self.set_bit(pos, true);
+            if self.bit(pos) {
+                // First write wins: position already holds data.
+                if self.buf[pos] != b {
+                    self.conflicts += 1;
+                }
             } else {
+                self.buf[pos] = b;
+                // Provisionally mark; absorbed below if contiguous.
                 self.set_bit(pos, true);
             }
         }
@@ -330,6 +352,45 @@ mod tests {
         assert_eq!(rb.peek(&mut out), 3);
         assert_eq!(&out, b"xyz");
         assert_eq!(rb.available(), 3);
+    }
+
+    #[test]
+    fn conflicting_overlap_first_write_wins() {
+        let mut rb = RecvBuffer::new(32);
+        rb.write(4, b"GOOD");
+        // A forged overlapping retransmission with different bytes for
+        // the same range must not alter the held data.
+        assert_eq!(rb.write(4, b"EVIL"), 0);
+        assert_eq!(rb.conflicts(), 4);
+        rb.check_invariants();
+        rb.write(0, b"xxxx");
+        let mut out = [0u8; 8];
+        assert_eq!(rb.read(&mut out), 8);
+        assert_eq!(&out, b"xxxxGOOD", "first write delivered, not the rewrite");
+    }
+
+    #[test]
+    fn partial_conflicting_overlap_keeps_held_prefix() {
+        let mut rb = RecvBuffer::new(32);
+        rb.write(6, b"cdef");
+        // Overlap [4..10): new bytes for [4..6), conflicting for [6..10).
+        assert_eq!(rb.write(4, b"abXXXX"), 0);
+        assert_eq!(rb.out_of_order_ranges(), &[(4, 10)]);
+        assert_eq!(rb.conflicts(), 4);
+        rb.write(0, b"....");
+        let mut out = [0u8; 10];
+        rb.read(&mut out);
+        assert_eq!(&out, b"....abcdef");
+        rb.check_invariants();
+    }
+
+    #[test]
+    fn identical_duplicate_overlap_counts_no_conflict() {
+        let mut rb = RecvBuffer::new(16);
+        rb.write(3, b"abc");
+        rb.write(3, b"abc");
+        assert_eq!(rb.conflicts(), 0, "benign dup retransmit is not a conflict");
+        rb.check_invariants();
     }
 
     #[test]

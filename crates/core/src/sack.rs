@@ -11,6 +11,21 @@
 use crate::seq::TcpSeq;
 use crate::wire::SackBlock;
 
+/// Classification tallies for one [`SackScoreboard::update`] call.
+/// The socket mirrors these into [`crate::stats::TcpStats`] so forged
+/// option floods are visible in the counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SackUpdate {
+    /// Blocks accepted into the scoreboard (possibly clamped).
+    pub accepted: u32,
+    /// Blocks rejected as malformed or outside `snd_una..snd_max` —
+    /// a receiver can only legitimately SACK data we actually sent.
+    pub rejected: u32,
+    /// D-SACK blocks (RFC 2883): duplicate reports at or below the
+    /// cumulative ACK. Harmless; counted and otherwise ignored.
+    pub dsack: u32,
+}
+
 /// Sender-side record of SACKed ranges.
 #[derive(Clone, Debug, Default)]
 pub struct SackScoreboard {
@@ -53,25 +68,66 @@ impl SackScoreboard {
             .any(|&(s, e)| s.le(seq) && end.le(e))
     }
 
-    /// Ingests SACK blocks from an ACK with the given `snd_una`
-    /// (blocks at or below snd_una are stale and ignored) and `snd_max`
-    /// (blocks beyond what we sent are forged and ignored).
-    pub fn update(&mut self, blocks: &[SackBlock], snd_una: TcpSeq, snd_max: TcpSeq) {
+    /// Ingests SACK blocks from an ACK, validating every block against
+    /// the send sequence space before it can touch the scoreboard:
+    ///
+    /// - `start >= end` is malformed → rejected;
+    /// - blocks entirely at/below `snd_una` are D-SACK duplicate
+    ///   reports (RFC 2883) → counted, ignored;
+    /// - blocks straddling `snd_una` are partial duplicates → the tail
+    ///   above `snd_una` is accepted, the duplicate part counted;
+    /// - everything else must satisfy
+    ///   `snd_una <= start < end <= snd_max` *by unwrapped distance
+    ///   from `snd_una`*, which defeats forged blocks whose modular
+    ///   comparisons look in-range only because they wrapped (a forged
+    ///   block marking un-SACKed data as received would suppress
+    ///   legitimate retransmissions until an RTO rescue).
+    pub fn update(
+        &mut self,
+        blocks: &[SackBlock],
+        snd_una: TcpSeq,
+        snd_max: TcpSeq,
+    ) -> SackUpdate {
+        let mut out = SackUpdate::default();
+        let sendable = snd_max.distance_from(snd_una);
         for b in blocks {
             if b.start.ge(b.end) {
-                continue; // malformed
-            }
-            if b.end.le(snd_una) || b.end.gt(snd_max) || b.start.lt(snd_una) && b.end.le(snd_una) {
+                out.rejected += 1; // malformed or wrapped-empty
                 continue;
             }
-            let start = b.start.max(snd_una);
-            let end = b.end;
-            if start.ge(end) {
+            if b.end.le(snd_una) {
+                out.dsack += 1; // full duplicate report below the ACK
                 continue;
             }
-            self.insert(start, end);
+            let d_end = b.end.distance_from(snd_una);
+            if d_end == 0 || d_end > sendable {
+                out.rejected += 1; // beyond snd_max (or ambiguous wrap)
+                continue;
+            }
+            if b.start.lt(snd_una) {
+                // A legitimate partial duplicate starts at most one
+                // (unscaled) window below snd_una; a start further away
+                // is a wrapped forgery trying to earn the clamp.
+                if snd_una.distance_from(b.start) > 65_535 {
+                    out.rejected += 1;
+                    continue;
+                }
+                // Partial duplicate: clamp to snd_una, keep the tail.
+                out.dsack += 1;
+                out.accepted += 1;
+                self.insert(snd_una, b.end);
+                continue;
+            }
+            let d_start = b.start.distance_from(snd_una);
+            if d_start >= d_end {
+                out.rejected += 1; // start wrapped past end: forged
+                continue;
+            }
+            out.accepted += 1;
+            self.insert(b.start, b.end);
         }
         self.advance(snd_una);
+        out
     }
 
     fn insert(&mut self, start: TcpSeq, end: TcpSeq) {
@@ -165,6 +221,29 @@ impl SackScoreboard {
         self.rexmit_cursor = Some(cursor + len);
         Some((cursor, len))
     }
+
+    /// Asserts the scoreboard invariants the property tests rely on:
+    /// ranges sorted ascending, pairwise disjoint, every range
+    /// non-empty and fully inside `snd_una..=snd_max` (measured by
+    /// unwrapped distance from `snd_una`, so a corrupted wrapped range
+    /// cannot hide). A scoreboard that survives adversarial SACK input
+    /// must hold these at all times; reneging receivers are tolerated
+    /// because the RTO path retransmits from `snd_una` regardless of
+    /// what the scoreboard claims.
+    pub fn check_invariants(&self, snd_una: TcpSeq, snd_max: TcpSeq) {
+        let span = snd_max.distance_from(snd_una);
+        let mut prev_end: Option<u32> = None;
+        for &(s, e) in &self.ranges {
+            let ds = s.distance_from(snd_una);
+            let de = e.distance_from(snd_una);
+            assert!(ds < de, "empty/inverted range ({s:?},{e:?})");
+            assert!(de <= span, "range ({s:?},{e:?}) beyond snd_max {snd_max:?}");
+            if let Some(p) = prev_end {
+                assert!(p <= ds, "ranges overlap or unsorted at ({s:?},{e:?})");
+            }
+            prev_end = Some(de);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -192,14 +271,59 @@ mod tests {
     fn forged_blocks_ignored() {
         let mut sb = SackScoreboard::new();
         // Beyond snd_max.
-        sb.update(&[blk(5000, 6000)], TcpSeq(0), TcpSeq(2000));
+        let r = sb.update(&[blk(5000, 6000)], TcpSeq(0), TcpSeq(2000));
         assert!(sb.is_empty());
-        // Below snd_una.
-        sb.update(&[blk(0, 100)], TcpSeq(500), TcpSeq(2000));
+        assert_eq!(r.rejected, 1);
+        // Below snd_una: a D-SACK duplicate report, not an error.
+        let r = sb.update(&[blk(0, 100)], TcpSeq(500), TcpSeq(2000));
         assert!(sb.is_empty());
+        assert_eq!(r.dsack, 1);
+        assert_eq!(r.rejected, 0);
         // Malformed (start >= end).
-        sb.update(&[blk(700, 600)], TcpSeq(500), TcpSeq(2000));
+        let r = sb.update(&[blk(700, 600)], TcpSeq(500), TcpSeq(2000));
         assert!(sb.is_empty());
+        assert_eq!(r.rejected, 1);
+    }
+
+    #[test]
+    fn wrapped_forgery_rejected_not_clamped() {
+        // A block whose start sits modularly "behind" snd_una by almost
+        // 2^31 passes naive modular clamping and would insert a bogus
+        // SACKed range covering data the receiver never saw. The
+        // distance-based validation must reject it outright.
+        let mut sb = SackScoreboard::new();
+        let una = TcpSeq(10_000);
+        let smax = TcpSeq(12_000);
+        let forged = SackBlock {
+            start: una + (1 << 31) + 1, // modularly lt(una), far away
+            end: TcpSeq(11_500),
+        };
+        let r = sb.update(&[forged], una, smax);
+        assert_eq!(r.rejected, 1, "wrapped start must not earn the clamp");
+        assert!(sb.is_empty());
+        sb.check_invariants(una, smax);
+
+        // A block wrapping past snd_max entirely is pure forgery.
+        let mut sb2 = SackScoreboard::new();
+        let forged2 = SackBlock {
+            start: TcpSeq(11_000),
+            end: TcpSeq(11_000) + (1 << 30),
+        };
+        let r2 = sb2.update(&[forged2], una, smax);
+        assert_eq!(r2.rejected, 1);
+        assert!(sb2.is_empty());
+        sb2.check_invariants(una, smax);
+    }
+
+    #[test]
+    fn partial_dsack_clamps_and_counts() {
+        let mut sb = SackScoreboard::new();
+        // Block straddles snd_una: [400, 900) against una=500.
+        let r = sb.update(&[blk(400, 900)], TcpSeq(500), TcpSeq(2000));
+        assert_eq!(r.dsack, 1);
+        assert_eq!(r.accepted, 1);
+        assert_eq!(sb.sacked_bytes(), 400, "only the tail above una");
+        sb.check_invariants(TcpSeq(500), TcpSeq(2000));
     }
 
     #[test]

@@ -68,6 +68,11 @@ pub enum CloseReason {
     TooManyRetransmits,
     /// Keepalive probes went unanswered.
     KeepaliveTimeout,
+    /// Zero-window probes went unanswered past the retransmission
+    /// limit: the peer (or a forger speaking for it) advertised a
+    /// closed window and never reopened it. Dying here turns a silent
+    /// persist-forever stall into a supervisable failure.
+    PersistTimeout,
     /// Locally aborted.
     Aborted,
 }
@@ -79,7 +84,10 @@ impl CloseReason {
     pub fn is_failure(self) -> bool {
         matches!(
             self,
-            CloseReason::Reset | CloseReason::TooManyRetransmits | CloseReason::KeepaliveTimeout
+            CloseReason::Reset
+                | CloseReason::TooManyRetransmits
+                | CloseReason::KeepaliveTimeout
+                | CloseReason::PersistTimeout
         )
     }
 }
@@ -141,6 +149,10 @@ pub struct TcpSocket {
     rexmit_deadline: Option<Instant>,
     persist_deadline: Option<Instant>,
     persist_backoff: u32,
+    /// Zero-window probes sent since the window last opened; bounded by
+    /// `max_retransmits` so a permanently closed (possibly forged)
+    /// window kills the connection instead of stalling it forever.
+    persist_probes: u32,
     delack_deadline: Option<Instant>,
     timewait_deadline: Option<Instant>,
     consecutive_rexmits: u32,
@@ -152,6 +164,12 @@ pub struct TcpSocket {
     probe_now: bool,
     keep_probe_now: bool,
     send_rst: bool,
+
+    // --- RFC 5961 §5 challenge-ACK rate limit ---
+    /// Start of the current challenge-ACK accounting window.
+    chack_window_start: Option<Instant>,
+    /// Challenge ACKs sent within the current window.
+    chack_sent: u32,
 
     // --- keepalive (RFC 1122 §4.2.3.6; optional) ---
     keep_deadline: Option<Instant>,
@@ -214,6 +232,7 @@ impl TcpSocket {
             rexmit_deadline: None,
             persist_deadline: None,
             persist_backoff: 0,
+            persist_probes: 0,
             delack_deadline: None,
             timewait_deadline: None,
             consecutive_rexmits: 0,
@@ -223,6 +242,8 @@ impl TcpSocket {
             probe_now: false,
             keep_probe_now: false,
             send_rst: false,
+            chack_window_start: None,
+            chack_sent: 0,
             keep_deadline: None,
             keep_probes_sent: 0,
             last_ts_value: 1,
@@ -435,6 +456,29 @@ impl TcpSocket {
         self.sack.clear();
     }
 
+    /// Queues a challenge ACK (RFC 5961), subject to the §5 rate limit:
+    /// at most `challenge_ack_limit` per `challenge_ack_window`. A
+    /// blind attacker flooding in-window RSTs/SYNs earns a bounded
+    /// number of responses per second; excess triggers are counted and
+    /// dropped silently.
+    fn send_challenge_ack(&mut self, now: Instant) {
+        match self.chack_window_start {
+            Some(start) if now.saturating_duration_since(start) < self.cfg.challenge_ack_window => {
+            }
+            _ => {
+                self.chack_window_start = Some(now);
+                self.chack_sent = 0;
+            }
+        }
+        if self.chack_sent < self.cfg.challenge_ack_limit {
+            self.chack_sent += 1;
+            self.stats.challenge_acks += 1;
+            self.ack_now = true;
+        } else {
+            self.stats.challenge_acks_limited += 1;
+        }
+    }
+
     /// (Re-)arms the keepalive idle timer, if keepalive is enabled.
     fn rearm_keepalive(&mut self, now: Instant) {
         if let Some(idle) = self.cfg.keepalive_idle {
@@ -488,6 +532,11 @@ impl TcpSocket {
         }
         if let Some(d) = self.persist_deadline {
             if now >= d {
+                self.persist_probes += 1;
+                if self.persist_probes > self.cfg.max_retransmits {
+                    self.enter_closed(CloseReason::PersistTimeout);
+                    return;
+                }
                 self.persist_backoff = (self.persist_backoff + 1).min(10);
                 let next = self
                     .cfg
@@ -671,16 +720,14 @@ impl TcpSocket {
                 self.enter_closed(CloseReason::Reset);
             } else {
                 // In-window but not exact: challenge ACK.
-                self.stats.challenge_acks += 1;
-                self.ack_now = true;
+                self.send_challenge_ack(now);
             }
             return;
         }
 
         // --- SYN in window (RFC 5961 §4): challenge ACK ---
         if seg.flags.contains(Flags::SYN) {
-            self.stats.challenge_acks += 1;
-            self.ack_now = true;
+            self.send_challenge_ack(now);
             return;
         }
 
@@ -738,10 +785,19 @@ impl TcpSocket {
             return;
         }
 
+        // RFC 1122 §4.2.2.17: a peer that keeps acknowledging our
+        // zero-window probes keeps the connection alive; only
+        // *unanswered* probes advance toward PersistTimeout.
+        if self.persist_deadline.is_some() {
+            self.persist_probes = 0;
+        }
+
         // Ingest SACK blocks (and count SACK-carrying dup ACKs).
         let had_sack_news = if self.sack_enabled && !seg.sack_blocks.is_empty() {
             let before = self.sack.sacked_bytes();
-            self.sack.update(&seg.sack_blocks, self.snd_una, self.snd_max);
+            let res = self.sack.update(&seg.sack_blocks, self.snd_una, self.snd_max);
+            self.stats.sack_blocks_rejected += u64::from(res.rejected);
+            self.stats.dsack_rcvd += u64::from(res.dsack);
             self.sack.sacked_bytes() != before
         } else {
             false
@@ -784,20 +840,31 @@ impl TcpSocket {
         }
 
         // --- Window update (RFC 793 p.72) ---
-        if seg.seq.gt(self.snd_wl1)
-            || (seg.seq == self.snd_wl1 && seg.ack.ge(self.snd_wl2))
-        {
+        // `persist_recover` lets a genuine window-opening ACK through
+        // even when a forged segment with an inflated seq has wedged
+        // snd_wl1 ahead of anything the real peer will send: while we
+        // are persisting, any ACK at snd_una that opens the window is
+        // believed. Without it a single forged zero-window ACK turns
+        // into a silent permanent stall.
+        let wl_ok = seg.seq.gt(self.snd_wl1)
+            || (seg.seq == self.snd_wl1 && seg.ack.ge(self.snd_wl2));
+        let persist_recover = self.persist_deadline.is_some()
+            && seg.ack == self.snd_una
+            && u32::from(seg.window) > 0;
+        if wl_ok || persist_recover {
             self.snd_wnd = u32::from(seg.window);
             self.snd_wl1 = seg.seq;
             self.snd_wl2 = seg.ack;
             if self.snd_wnd == 0 && !self.sndbuf.is_empty() {
                 if self.persist_deadline.is_none() {
                     self.persist_backoff = 0;
+                    self.persist_probes = 0;
                     self.persist_deadline = Some(now + self.cfg.persist_base);
                 }
             } else {
                 self.persist_deadline = None;
                 self.persist_backoff = 0;
+                self.persist_probes = 0;
             }
         }
 
@@ -957,7 +1024,9 @@ impl TcpSocket {
         }
         let data = &seg.payload[offset_in_seg..];
         let was_ooo = stream_off > 0;
+        let conflicts_before = self.rcvbuf.conflicts();
         let newly = self.rcvbuf.write(stream_off, data);
+        self.stats.reassembly_conflicts += self.rcvbuf.conflicts() - conflicts_before;
         self.rcv_nxt += newly as u32;
         self.stats.bytes_rcvd += newly as u64;
         if was_ooo {
@@ -996,9 +1065,15 @@ impl TcpSocket {
     /// Produces the next segment to transmit, if any. Callers loop until
     /// `None`. The segment is fully formed except IP encapsulation.
     pub fn poll_transmit(&mut self, now: Instant) -> Option<Segment> {
-        // RST takes priority and is valid even when Closed.
+        // RST takes priority and is valid even when Closed. It also
+        // subsumes any pending pure ACK: emitting an ACK after our own
+        // RST would both waste a frame and re-open the peer's view of
+        // the connection we just tore down.
         if self.send_rst {
             self.send_rst = false;
+            self.ack_now = false;
+            self.delack_segs = 0;
+            self.delack_deadline = None;
             let mut seg = self.make_segment(Flags::RST | Flags::ACK);
             seg.seq = self.snd_nxt;
             seg.ack = self.rcv_nxt;
@@ -1139,6 +1214,7 @@ impl TcpSocket {
             && self.rexmit_deadline.is_none()
         {
             self.persist_backoff = 0;
+            self.persist_probes = 0;
             self.persist_deadline = Some(now + self.cfg.persist_base);
         }
 
@@ -1617,5 +1693,155 @@ mod tests {
         stray.payload = vec![1, 2, 3];
         s.on_segment(&stray, Ecn::NotCapable, Instant::ZERO);
         assert_eq!(s.available(), 0, "no data accepted before SYN seen");
+    }
+
+    // ------------------------------------------------------------------
+    // Hardening regressions (adversarial in-band traffic)
+    // ------------------------------------------------------------------
+
+    /// After `abort()`, exactly one RST leaves the socket — a pending
+    /// ACK queued before the abort must not trail it.
+    #[test]
+    fn abort_emits_single_rst_and_nothing_else() {
+        let (mut a, _b) = handshake();
+        let t = Instant::ZERO;
+        // Out-of-order data queues an immediate ACK.
+        let mut ooo = Segment::new(80, 49152, TcpSeq(301), TcpSeq(101), Flags::ACK | Flags::PSH);
+        ooo.window = 1000;
+        ooo.payload = vec![7; 4];
+        a.on_segment(&ooo, Ecn::NotCapable, t);
+        a.abort();
+        let rst = a.poll_transmit(t).expect("the RST");
+        assert!(rst.flags.contains(Flags::RST));
+        assert!(a.poll_transmit(t).is_none(), "no ACK after our own RST");
+        assert_eq!(a.close_reason(), Some(CloseReason::Aborted));
+    }
+
+    /// An unacceptable ACK in SYN-RECEIVED queues a RST while a
+    /// challenge/re-ACK may already be pending; the RST must subsume
+    /// it rather than be followed by an ACK that re-opens the
+    /// conversation.
+    #[test]
+    fn rst_subsumes_pending_ack_in_syn_received() {
+        let t = Instant::ZERO;
+        let l = ListenSocket::new(TcpConfig::default(), NodeId(9).mesh_addr(), 80);
+        let syn = Segment::new(5, 80, TcpSeq(77), TcpSeq(0), Flags::SYN);
+        let mut s = l.on_segment(NodeId(1).mesh_addr(), &syn, 300, t).unwrap();
+        let _synack = s.poll_transmit(t).unwrap();
+        // Duplicate SYN: queues a re-ACK/challenge.
+        s.on_segment(&syn, Ecn::NotCapable, t);
+        // Forged ACK for data we never sent: queues a RST.
+        let mut bad = Segment::new(5, 80, TcpSeq(78), TcpSeq(300), Flags::ACK);
+        bad.window = 1000;
+        s.on_segment(&bad, Ecn::NotCapable, t);
+        let first = s.poll_transmit(t).expect("RST first");
+        assert!(first.flags.contains(Flags::RST), "got {:?}", first.flags);
+        assert!(
+            s.poll_transmit(t).is_none(),
+            "pending ACK must coalesce into (be dropped by) the RST"
+        );
+    }
+
+    /// A challenge ACK triggered while a delayed ACK is pending must
+    /// produce exactly one pure ACK, not two.
+    #[test]
+    fn challenge_ack_coalesces_with_pending_delack() {
+        let (mut a, _b) = handshake();
+        let t = Instant::ZERO;
+        let mut data = Segment::new(80, 49152, TcpSeq(201), TcpSeq(101), Flags::ACK | Flags::PSH);
+        data.window = 1000;
+        data.payload = b"hi".to_vec();
+        a.on_segment(&data, Ecn::NotCapable, t);
+        assert!(a.poll_transmit(t).is_none(), "delack held");
+        // Forged in-window (not exact) RST: challenge ACK.
+        let rst = Segment::new(80, 49152, TcpSeq(300), TcpSeq(101), Flags::RST | Flags::ACK);
+        a.on_segment(&rst, Ecn::NotCapable, t);
+        assert_eq!(a.state(), TcpState::Established, "forged RST ignored");
+        let ack = a.poll_transmit(t).expect("one challenge ACK");
+        assert!(ack.payload.is_empty());
+        assert_eq!(ack.ack, TcpSeq(203), "carries the data ACK too");
+        assert!(a.poll_transmit(t).is_none(), "exactly one segment");
+    }
+
+    /// RFC 5961 §5: a blind RST flood earns at most
+    /// `challenge_ack_limit` challenge ACKs per window; the budget
+    /// refills in the next window.
+    #[test]
+    fn challenge_acks_rate_limited_per_window() {
+        let (mut a, _b) = handshake();
+        let t = Instant::ZERO;
+        for i in 0..50u32 {
+            let rst = Segment::new(
+                80,
+                49152,
+                TcpSeq(211 + i),
+                TcpSeq(101),
+                Flags::RST | Flags::ACK,
+            );
+            a.on_segment(&rst, Ecn::NotCapable, t);
+            while a.poll_transmit(t).is_some() {}
+        }
+        assert_eq!(a.state(), TcpState::Established, "flood survived");
+        assert_eq!(a.stats.challenge_acks, 10);
+        assert_eq!(a.stats.challenge_acks_limited, 40);
+        // Next window: budget refills.
+        let t2 = t + Duration::from_secs(2);
+        let rst = Segment::new(80, 49152, TcpSeq(300), TcpSeq(101), Flags::RST | Flags::ACK);
+        a.on_segment(&rst, Ecn::NotCapable, t2);
+        assert_eq!(a.stats.challenge_acks, 11);
+    }
+
+    /// A forged zero-window ACK with an inflated sequence number wedges
+    /// snd_wl1 ahead of anything the genuine peer will send. The
+    /// persist machinery must still probe, and a genuine
+    /// window-opening ACK (losing the wl1 race) must still unfreeze
+    /// the flow.
+    #[test]
+    fn forged_zero_window_ack_recovers_via_persist_probe() {
+        let (mut a, _b) = handshake();
+        let t = Instant::ZERO;
+        let mut forged = Segment::new(80, 49152, TcpSeq(1201), TcpSeq(101), Flags::ACK);
+        forged.window = 0;
+        a.on_segment(&forged, Ecn::NotCapable, t);
+        assert_eq!(a.send(b"payload"), 7);
+        assert!(a.poll_transmit(t).is_none(), "frozen by forged window");
+        let due = a.poll_at().expect("persist timer armed");
+        a.on_timer(due);
+        let probe = a.poll_transmit(due).expect("zero-window probe");
+        assert!(!probe.payload.is_empty(), "probe forces a byte out");
+        assert!(a.stats.zero_window_probes >= 1);
+        // Genuine peer ACKs the probe byte: real seq (201, far behind
+        // the forged 1201), open window.
+        let mut genuine = Segment::new(80, 49152, TcpSeq(201), TcpSeq(102), Flags::ACK);
+        genuine.window = 1848;
+        a.on_segment(&genuine, Ecn::NotCapable, due);
+        let seg = a.poll_transmit(due).expect("flow resumes");
+        assert!(!seg.payload.is_empty(), "data flows after recovery");
+        assert_eq!(a.close_reason(), None);
+    }
+
+    /// If nothing ever answers the probes (peer dead, or the zero
+    /// window was forged and the path is black-holed), the connection
+    /// must die with a supervisable CloseReason — never stall
+    /// silently forever.
+    #[test]
+    fn unrelieved_zero_window_dies_with_persist_timeout() {
+        let (mut a, _b) = handshake();
+        let t = Instant::ZERO;
+        let mut forged = Segment::new(80, 49152, TcpSeq(1201), TcpSeq(101), Flags::ACK);
+        forged.window = 0;
+        a.on_segment(&forged, Ecn::NotCapable, t);
+        a.send(b"payload");
+        while a.poll_transmit(t).is_some() {}
+        let mut guard = 0;
+        while a.state() != TcpState::Closed {
+            guard += 1;
+            assert!(guard < 200, "must converge, not stall");
+            let due = a.poll_at().expect("a timer is always armed");
+            a.on_timer(due);
+            while a.poll_transmit(due).is_some() {}
+        }
+        assert_eq!(a.close_reason(), Some(CloseReason::PersistTimeout));
+        assert!(CloseReason::PersistTimeout.is_failure());
     }
 }

@@ -48,6 +48,16 @@ pub struct TcpStats {
     pub ooo_segments: u64,
     /// Keepalive probes sent.
     pub keepalive_probes: u64,
+    /// Challenge ACKs suppressed by the RFC 5961 §5 rate limit.
+    pub challenge_acks_limited: u64,
+    /// Inbound SACK blocks rejected as forged/out-of-window.
+    pub sack_blocks_rejected: u64,
+    /// D-SACK blocks received (duplicate reports at/below snd_una).
+    pub dsack_rcvd: u64,
+    /// Overlapping retransmissions whose payload conflicted with bytes
+    /// already held in the reassembly buffer (first write wins; the
+    /// conflicting rewrite was refused).
+    pub reassembly_conflicts: u64,
 }
 
 impl TcpStats {
@@ -55,6 +65,45 @@ impl TcpStats {
     /// reports).
     pub fn total_retransmissions(&self) -> u64 {
         self.segs_retransmitted
+    }
+
+    /// Stable FNV-1a digest over every counter, in declaration order.
+    /// Two runs of the same seeded simulation must produce identical
+    /// digests — the torture tier and CI assert exactly this.
+    pub fn digest(&self) -> u64 {
+        let fields = [
+            self.segs_sent,
+            self.segs_rcvd,
+            self.bytes_sent,
+            self.bytes_rcvd,
+            self.rexmit_timeouts,
+            self.fast_rexmits,
+            self.sack_rexmits,
+            self.segs_retransmitted,
+            self.dup_acks_rcvd,
+            self.acks_sent,
+            self.rtt_samples,
+            self.challenge_acks,
+            self.zero_window_probes,
+            self.predicted_acks,
+            self.predicted_data,
+            self.paws_drops,
+            self.ecn_reductions,
+            self.ooo_segments,
+            self.keepalive_probes,
+            self.challenge_acks_limited,
+            self.sack_blocks_rejected,
+            self.dsack_rcvd,
+            self.reassembly_conflicts,
+        ];
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for f in fields {
+            for b in f.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        h
     }
 }
 
@@ -204,5 +253,24 @@ mod tests {
             ..TcpStats::default()
         };
         assert_eq!(s.total_retransmissions(), 7);
+    }
+
+    #[test]
+    fn digest_is_stable_and_field_sensitive() {
+        let a = TcpStats::default();
+        let b = TcpStats::default();
+        assert_eq!(a.digest(), b.digest(), "equal stats, equal digest");
+        let c = TcpStats {
+            challenge_acks_limited: 1,
+            ..TcpStats::default()
+        };
+        assert_ne!(a.digest(), c.digest(), "any counter change shifts it");
+        // Moving the same count to a different field must also shift it
+        // (the digest is order-sensitive, not a plain sum).
+        let d = TcpStats {
+            dsack_rcvd: 1,
+            ..TcpStats::default()
+        };
+        assert_ne!(c.digest(), d.digest());
     }
 }

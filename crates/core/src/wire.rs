@@ -12,6 +12,11 @@ use lln_netip::Ipv6Addr;
 pub const TCP_HEADER_LEN: usize = 20;
 /// Maximum number of SACK blocks carried (RFC 2018 with timestamps).
 pub const MAX_SACK_BLOCKS: usize = 3;
+/// Maximum option area (the 4-bit data offset tops out at 60 bytes of
+/// header). The decoder enforces this bound explicitly so option
+/// parsing work — and the memory a segment's options can claim — is
+/// capped regardless of what the wire claims.
+pub const MAX_OPTIONS_LEN: usize = 40;
 
 /// Minimal bitflags implementation (avoids an external dependency).
 macro_rules! bitflags_lite {
@@ -245,7 +250,10 @@ impl Segment {
             return None;
         }
         let data_off = usize::from(bytes[12] >> 4) * 4;
-        if data_off < TCP_HEADER_LEN || data_off > bytes.len() {
+        if data_off < TCP_HEADER_LEN
+            || data_off > bytes.len()
+            || data_off > TCP_HEADER_LEN + MAX_OPTIONS_LEN
+        {
             return None;
         }
         let mut seg = Segment {
@@ -287,8 +295,16 @@ impl Segment {
                                 echo: u32::from_be_bytes(body[4..8].try_into().unwrap()),
                             });
                         }
-                        5 if body.len().is_multiple_of(8) => {
+                        5 if body.len().is_multiple_of(8) && !body.is_empty() => {
+                            // An in-spec option area fits at most 4
+                            // blocks; we honour at most MAX_SACK_BLOCKS
+                            // (what we'd ever emit) so an oversized or
+                            // repeated SACK option cannot grow the
+                            // decoded segment beyond a fixed bound.
                             for ch in body.chunks_exact(8) {
+                                if seg.sack_blocks.len() >= MAX_SACK_BLOCKS {
+                                    break;
+                                }
                                 seg.sack_blocks.push(SackBlock {
                                     start: TcpSeq(u32::from_be_bytes(ch[0..4].try_into().unwrap())),
                                     end: TcpSeq(u32::from_be_bytes(ch[4..8].try_into().unwrap())),
@@ -422,6 +438,71 @@ mod tests {
         let enc = s.encode(src, dst);
         let dec = Segment::decode(src, dst, &enc).unwrap();
         assert_eq!(dec.sack_blocks.len(), MAX_SACK_BLOCKS);
+    }
+
+    /// Hand-builds a raw segment with an arbitrary option area and a
+    /// valid checksum — the adversary's view of the wire.
+    fn raw_with_options(src: Ipv6Addr, dst: Ipv6Addr, opts: &[u8]) -> Vec<u8> {
+        assert!(opts.len().is_multiple_of(4) && opts.len() <= 40);
+        let data_off = TCP_HEADER_LEN + opts.len();
+        let mut out = Vec::new();
+        out.extend_from_slice(&100u16.to_be_bytes());
+        out.extend_from_slice(&200u16.to_be_bytes());
+        out.extend_from_slice(&1000u32.to_be_bytes());
+        out.extend_from_slice(&2000u32.to_be_bytes());
+        out.push(((data_off / 4) as u8) << 4);
+        out.push(Flags::ACK.0);
+        out.extend_from_slice(&512u16.to_be_bytes());
+        out.extend_from_slice(&[0, 0]); // checksum placeholder
+        out.extend_from_slice(&[0, 0]);
+        out.extend_from_slice(opts);
+        let mut ck = Checksum::new();
+        ck.add_pseudo_header(src, dst, 6, out.len() as u32);
+        ck.add_bytes(&out);
+        let c = ck.finish();
+        out[16..18].copy_from_slice(&c.to_be_bytes());
+        out
+    }
+
+    #[test]
+    fn oversized_raw_sack_list_capped_at_three() {
+        let (src, dst) = addrs();
+        // kind 5, len 34: four SACK blocks — one more than we ever emit.
+        let mut opts = vec![5u8, 34];
+        for i in 0..4u32 {
+            opts.extend_from_slice(&(i * 1000).to_be_bytes());
+            opts.extend_from_slice(&(i * 1000 + 100).to_be_bytes());
+        }
+        opts.extend_from_slice(&[1, 1]); // NOP padding to 36
+        let raw = raw_with_options(src, dst, &opts);
+        let seg = Segment::decode(src, dst, &raw).expect("valid checksum");
+        assert_eq!(seg.sack_blocks.len(), MAX_SACK_BLOCKS);
+    }
+
+    #[test]
+    fn pathological_nop_run_parses_within_bound() {
+        let (src, dst) = addrs();
+        // The full 40-byte option area as NOPs: maximum parser work.
+        let raw = raw_with_options(src, dst, &[1u8; MAX_OPTIONS_LEN]);
+        let seg = Segment::decode(src, dst, &raw).expect("decodes");
+        assert!(seg.sack_blocks.is_empty());
+        assert!(seg.timestamps.is_none());
+    }
+
+    #[test]
+    fn zero_length_and_overrunning_options_rejected() {
+        let (src, dst) = addrs();
+        // Unknown kind with len 0 would loop forever in a naive parser.
+        let raw = raw_with_options(src, dst, &[7, 0, 1, 1]);
+        assert!(Segment::decode(src, dst, &raw).is_none());
+        // Option length running past the option area.
+        let raw = raw_with_options(src, dst, &[5, 200, 1, 1]);
+        assert!(Segment::decode(src, dst, &raw).is_none());
+        // Empty SACK option body is treated as malformed noise, not a
+        // block list (kind 5 len 2).
+        let raw = raw_with_options(src, dst, &[5, 2, 1, 1]);
+        let seg = Segment::decode(src, dst, &raw).expect("harmless");
+        assert!(seg.sack_blocks.is_empty());
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! terminal chains (§7), and a Figure 3-like office tree for the
 //! application study (§9).
 
+pub mod adversary;
 pub mod app;
 pub mod fault;
 pub mod route;
@@ -21,6 +22,7 @@ pub mod supervisor;
 pub mod trace;
 pub mod world;
 
+pub use adversary::{Adversary, AdversaryProfile, AdversaryStats, Delivery};
 pub use fault::{FaultEvent, FaultPlan};
 pub use route::{RouteTable, Topology};
 pub use stack::{Node, NodeKind, TransportKind, TransportStack};

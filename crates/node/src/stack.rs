@@ -172,6 +172,9 @@ pub struct Node {
     /// Per-bit flip probability applied to frames this node receives
     /// (set during a [`crate::fault::FaultEvent::BitErrorBurst`]).
     pub ber: Option<f64>,
+    /// Adversarial interposer on this node's inbound TCP path (torture
+    /// suite; see [`crate::adversary`]).
+    pub adversary: Option<crate::adversary::Adversary>,
 
     // --- radio state ---
     /// Radio powered (sleepy leaves toggle this).
@@ -255,6 +258,7 @@ impl Node {
             last_rx_seq: HashMap::new(),
             down: false,
             ber: None,
+            adversary: None,
             awake,
             listen_since: now,
             transmitting: false,

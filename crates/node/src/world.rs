@@ -87,6 +87,10 @@ pub enum Event {
     AppTick(usize),
     /// Wired packet arrives at node (border or cloud).
     WiredDeliver(usize, Ipv6Header, Vec<u8>),
+    /// Adversary-delayed (reordered/duplicated/forged) TCP bytes reach
+    /// the node's transport input. Bypasses the adversary on arrival so
+    /// mangled traffic is never re-mangled.
+    AdversaryDeliver(usize, Ipv6Header, Vec<u8>),
     /// Interferer begins a burst.
     InterfererStart(usize),
     /// Interferer burst ends.
@@ -370,6 +374,19 @@ impl World {
         }
     }
 
+    /// Interposes an adversary on `node`'s inbound TCP path (torture
+    /// suite). The adversary gets its own RNG stream forked from the
+    /// world seed, so a fixed seed replays bit-identically.
+    pub fn attach_adversary(&mut self, node: usize, profile: crate::adversary::AdversaryProfile) {
+        let rng = self.rng.fork(0xADF0 + node as u64);
+        self.nodes[node].adversary = Some(crate::adversary::Adversary::new(profile, rng));
+    }
+
+    /// The adversary's counters on `node`, if one is attached.
+    pub fn adversary_stats(&self, node: usize) -> Option<crate::adversary::AdversaryStats> {
+        self.nodes[node].adversary.as_ref().map(|a| a.stats)
+    }
+
     /// Configures the anemometer app on `node`, readings starting at
     /// `start`.
     pub fn set_anemometer(
@@ -449,6 +466,11 @@ impl World {
             Event::WiredDeliver(i, hdr, payload) => {
                 self.handle_ip_packet(i, hdr, payload, now);
             }
+            Event::AdversaryDeliver(i, hdr, payload) => {
+                self.nodes[i].meter.add_cpu(self.cfg.cpu_per_segment);
+                self.deliver_mangled_tcp(i, &hdr, &payload, now);
+                self.pump_transport(i, now);
+            }
             Event::InterfererStart(i) => self.on_interferer_start(i, now),
             Event::InterfererEnd(i) => self.on_interferer_end(i, now),
             Event::FaultRebootDown(i, span) => self.on_fault_reboot_down(i, span, now),
@@ -485,6 +507,7 @@ impl World {
             | Event::LinkAckDone(i)
             | Event::LinkAckStart(i, _, _)
             | Event::WiredDeliver(i, _, _)
+            | Event::AdversaryDeliver(i, _, _)
             | Event::InterfererStart(i)
             | Event::InterfererEnd(i) => *i,
             _ => return false,
@@ -502,7 +525,7 @@ impl World {
                     self.queue.schedule(now + iv, Event::AppTick(*i));
                 }
             }
-            Event::WiredDeliver(i, _, _) => {
+            Event::WiredDeliver(i, _, _) | Event::AdversaryDeliver(i, _, _) => {
                 self.nodes[*i].counters.inc("down_drops");
             }
             Event::AirDone(i) => {
@@ -1380,6 +1403,59 @@ impl World {
             self.nodes[i].counters.inc("tcp_checksum_drops");
             return;
         };
+        if self.nodes[i].adversary.is_some() {
+            // Temporarily take the adversary so it can borrow its RNG
+            // while we hold `self` for scheduling.
+            let mut adv = self.nodes[i].adversary.take().expect("checked");
+            let deliveries = adv.on_segment(&seg, hdr.src, hdr.dst);
+            self.nodes[i].adversary = Some(adv);
+            for d in deliveries {
+                match d {
+                    crate::adversary::Delivery::Seg(delay, mseg) => {
+                        if delay == Duration::ZERO {
+                            self.dispatch_tcp_segment(i, hdr, &mseg, now);
+                        } else {
+                            let bytes = mseg.encode(hdr.src, hdr.dst);
+                            let mut h = *hdr;
+                            h.payload_len = bytes.len() as u16;
+                            self.queue
+                                .schedule(now + delay, Event::AdversaryDeliver(i, h, bytes));
+                        }
+                    }
+                    crate::adversary::Delivery::Raw(delay, bytes) => {
+                        let mut h = *hdr;
+                        h.payload_len = bytes.len() as u16;
+                        if delay == Duration::ZERO {
+                            self.deliver_mangled_tcp(i, &h, &bytes, now);
+                        } else {
+                            self.queue
+                                .schedule(now + delay, Event::AdversaryDeliver(i, h, bytes));
+                        }
+                    }
+                }
+            }
+            return;
+        }
+        self.dispatch_tcp_segment(i, hdr, &seg, now);
+    }
+
+    /// Adversary-scheduled bytes arriving at the transport: decode and
+    /// dispatch directly, never back through the adversary.
+    fn deliver_mangled_tcp(&mut self, i: usize, hdr: &Ipv6Header, payload: &[u8], now: Instant) {
+        match Segment::decode(hdr.src, hdr.dst, payload) {
+            Some(seg) => self.dispatch_tcp_segment(i, hdr, &seg, now),
+            None => {
+                // Deliberately malformed forgeries die in the parser,
+                // exactly like corrupted genuine traffic.
+                self.nodes[i].counters.inc("tcp_checksum_drops");
+            }
+        }
+    }
+
+    /// Hands a decoded segment to the owning socket (or the listener,
+    /// the uIP socket, or the RST generator).
+    fn dispatch_tcp_segment(&mut self, i: usize, hdr: &Ipv6Header, seg: &Segment, now: Instant) {
+        let seg = seg.clone();
         let ecn = hdr.ecn;
         // Match an existing socket.
         let found = self.nodes[i].transport.tcp.iter_mut().find(|s| {
