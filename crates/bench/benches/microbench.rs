@@ -160,11 +160,17 @@ fn bench_socket_pair() {
         let a_addr = NodeId(1).mesh_addr();
         let b_addr = NodeId(2).mesh_addr();
         let mut client = TcpSocket::new(TcpConfig::default(), a_addr, 49152);
-        let listener = ListenSocket::new(TcpConfig::default(), b_addr, 80);
+        let mut listener = ListenSocket::new(TcpConfig::default(), b_addr, 80);
         let mut t = Instant::ZERO;
         client.connect(b_addr, 80, 1, t);
         let syn = client.poll_transmit(t).unwrap();
-        let mut server = listener.on_segment(a_addr, &syn, 2, t).unwrap();
+        let synack = listener
+            .on_segment(a_addr, &syn, 2, t)
+            .into_reply()
+            .unwrap();
+        client.on_segment(&synack, Ecn::NotCapable, t);
+        let ack = client.poll_transmit(t).unwrap();
+        let mut server = listener.on_segment(a_addr, &ack, 0, t).into_spawn().unwrap();
         let data = vec![0xaau8; 462];
         let mut received = 0usize;
         let mut buf = [0u8; 2048];

@@ -21,6 +21,10 @@ fn main() {
             retry_delay_max: Duration::ZERO,
             ..MacConfig::default()
         },
+        seed: std::env::var("FIG7_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0x5eed),
         ..WorldConfig::default()
     };
     let mut world = World::new(&topo, &kinds, wc);

@@ -159,6 +159,17 @@ impl CoapClient {
         self.queue.len() + usize::from(self.outstanding.is_some())
     }
 
+    /// Bytes pinned by retransmit state: the encoded in-flight message
+    /// plus every queued payload — what the node memory budget charges
+    /// to the CoAP retransmission class.
+    pub fn pending_bytes(&self) -> usize {
+        let in_flight = self
+            .outstanding
+            .as_ref()
+            .map_or(0, |o| o.encoded.len());
+        in_flight + self.queue.iter().map(|q| q.payload.len()).sum::<usize>()
+    }
+
     /// Drains tokens of exchanges that completed since the last call.
     pub fn take_completed(&mut self) -> Vec<u64> {
         std::mem::take(&mut self.completed)

@@ -25,22 +25,32 @@
 //! let a_addr = NodeId(1).mesh_addr();
 //! let b_addr = NodeId(2).mesh_addr();
 //! let mut client = TcpSocket::new(TcpConfig::default(), a_addr, 49152);
-//! let listener = ListenSocket::new(TcpConfig::default(), b_addr, 80);
+//! let mut listener = ListenSocket::new(TcpConfig::default(), b_addr, 80);
 //!
+//! // RFC 4987-style passive open: the SYN parks in the listener's
+//! // bounded SYN cache (no socket yet); the SYN-ACK comes from the
+//! // cache and the full socket is born only on the completing ACK.
 //! let t0 = Instant::ZERO;
 //! client.connect(b_addr, 80, 1000, t0);
 //! let syn = client.poll_transmit(t0).expect("SYN");
-//! let mut server = listener.on_segment(a_addr, &syn, 2000, t0).expect("accept");
-//! let synack = server.poll_transmit(t0).expect("SYN-ACK");
+//! let synack = listener
+//!     .on_segment(a_addr, &syn, 2000, t0)
+//!     .into_reply()
+//!     .expect("SYN-ACK from the SYN cache");
 //! client.on_segment(&synack, Ecn::NotCapable, t0);
 //! let ack = client.poll_transmit(t0).expect("ACK");
-//! server.on_segment(&ack, Ecn::NotCapable, t0);
+//! let server = listener
+//!     .on_segment(a_addr, &ack, 0, t0)
+//!     .into_spawn()
+//!     .expect("socket spawned on handshake completion");
 //! assert_eq!(client.state(), TcpState::Established);
 //! assert_eq!(server.state(), TcpState::Established);
+//! assert_eq!(listener.half_open(), 0, "cache entry promoted and freed");
 //! ```
 
 pub mod cc;
 pub mod config;
+pub mod mem;
 pub mod recvbuf;
 pub mod rtt;
 pub mod sack;
@@ -52,11 +62,15 @@ pub mod wire;
 
 pub use cc::NewReno;
 pub use config::TcpConfig;
+pub use mem::{MemClass, MemGovernor, NodeBudget};
 pub use recvbuf::RecvBuffer;
 pub use rtt::RttEstimator;
 pub use sack::{SackScoreboard, SackUpdate};
 pub use sendbuf::SendBuffer;
 pub use seq::TcpSeq;
-pub use socket::{reset_for, CloseReason, ListenSocket, TcpSocket, TcpState};
+pub use socket::{
+    reset_for, CloseReason, ListenStats, ListenSocket, ListenerResponse, SynCacheConfig,
+    TcpSocket, TcpState,
+};
 pub use stats::TcpStats;
 pub use wire::{Flags, SackBlock, Segment, Timestamps};

@@ -17,8 +17,11 @@
 //!   (RFC 5961), header prediction (FreeBSD's fast path), and optional
 //!   ECN (RFC 3168) for the RED/ECN experiments of Appendix A.
 //!
-//! Omitted, as in the paper: window scaling, urgent pointer, SYN
-//! cache/cookies, TCP-MD5.
+//! Omitted, as in the paper: window scaling, urgent pointer, TCP-MD5.
+//! Passive opens go through a bounded RFC 4987-style SYN cache in
+//! [`ListenSocket`] (with an optional stateless cookie fallback), so a
+//! SYN flood costs slots and bytes the node has explicitly budgeted —
+//! never a full socket per forged SYN.
 
 use crate::cc::{CcAction, NewReno};
 use crate::config::TcpConfig;
@@ -280,6 +283,17 @@ impl TcpSocket {
     /// Local endpoint.
     pub fn local(&self) -> (Ipv6Addr, u16) {
         (self.local_addr, self.local_port)
+    }
+
+    /// Bytes this connection pins against the node memory budget:
+    /// send + receive buffers plus the control block (§4.3 / Table 3).
+    /// A closed socket pins nothing — its buffers are reclaimable.
+    pub fn mem_footprint(&self) -> usize {
+        if self.state == TcpState::Closed {
+            0
+        } else {
+            self.cfg.send_buf + self.cfg.recv_buf + crate::mem::TCP_CB_BYTES
+        }
     }
 
     /// Bytes ready for the application to read.
@@ -1398,23 +1412,199 @@ fn ts_lt(a: u32, b: u32) -> bool {
     (b.wrapping_sub(a) as i32) > 0
 }
 
-/// A passive (listening) socket. Matches the paper's §4.1 distinction:
-/// passive sockets carry almost no state (Tables 3-4 report 12-16 B on
-/// the real platforms) and spawn a full active socket per connection.
+/// SYN-cache parameters (RFC 4987 §3.2).
+#[derive(Clone, Debug)]
+pub struct SynCacheConfig {
+    /// Half-open table size. When full, the oldest entry is evicted
+    /// (or, with [`SynCacheConfig::stateless_fallback`], the SYN is
+    /// answered with a cookie instead of a slot).
+    pub slots: usize,
+    /// Maximum accepted-and-live connections; SYNs beyond this are
+    /// dropped silently so the client retries after the flood.
+    pub accept_backlog: usize,
+    /// SYN-ACK retransmissions before a half-open entry is reclaimed.
+    pub synack_retries: u32,
+    /// Initial SYN-ACK retransmit timeout (doubles per retry).
+    pub synack_timeout: Duration,
+    /// RFC 4987 §3.3: when the cache is full, answer with a stateless
+    /// cookie SYN-ACK (ISS derived from a keyed hash of the 4-tuple)
+    /// instead of evicting. Connections completed via cookie lose
+    /// option negotiation, as real cookie implementations do.
+    pub stateless_fallback: bool,
+    /// Key for cookie generation (deterministic per listener; a real
+    /// stack would rotate this).
+    pub cookie_secret: u64,
+}
+
+impl Default for SynCacheConfig {
+    fn default() -> Self {
+        SynCacheConfig {
+            slots: 8,
+            accept_backlog: 8,
+            synack_retries: 3,
+            synack_timeout: Duration::from_secs(1),
+            stateless_fallback: false,
+            cookie_secret: 0x6c6c_6e5f_7379_6e63, // "lln_sync"
+        }
+    }
+}
+
+/// Counters kept by a [`ListenSocket`], digestable like
+/// [`TcpStats`] so overload runs can be compared bit-for-bit.
+#[derive(Clone, Debug, Default)]
+pub struct ListenStats {
+    /// SYNs received (including retransmissions and floods).
+    pub syns_rcvd: u64,
+    /// Retransmitted SYNs that matched an existing half-open entry
+    /// (deduplicated: SYN-ACK re-sent, **no** second socket spawned).
+    pub syn_dups: u64,
+    /// Connections promoted to full sockets on handshake completion.
+    pub spawned: u64,
+    /// Oldest-entry evictions under cache pressure.
+    pub evicted_oldest: u64,
+    /// Entries reclaimed after SYN-ACK retry exhaustion.
+    pub expired: u64,
+    /// SYNs dropped because the accept backlog was full.
+    pub backlog_denied: u64,
+    /// Timer-driven SYN-ACK retransmissions.
+    pub synack_rexmits: u64,
+    /// Stateless cookie SYN-ACKs sent.
+    pub cookies_sent: u64,
+    /// Handshakes completed by a valid cookie ACK.
+    pub cookies_accepted: u64,
+    /// ACKs whose cookie failed validation.
+    pub cookies_rejected: u64,
+    /// Half-open entries aborted by an in-window RST.
+    pub rst_aborts: u64,
+    /// Non-handshake ACKs that matched no entry (the caller answers
+    /// these with an RST, per RFC 4987 §3.6).
+    pub bad_acks: u64,
+}
+
+impl ListenStats {
+    /// Stable FNV-1a digest over every counter, in declaration order.
+    pub fn digest(&self) -> u64 {
+        let fields = [
+            self.syns_rcvd,
+            self.syn_dups,
+            self.spawned,
+            self.evicted_oldest,
+            self.expired,
+            self.backlog_denied,
+            self.synack_rexmits,
+            self.cookies_sent,
+            self.cookies_accepted,
+            self.cookies_rejected,
+            self.rst_aborts,
+            self.bad_acks,
+        ];
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for f in fields {
+            for b in f.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        h
+    }
+}
+
+/// One half-open connection: everything needed to regenerate the
+/// SYN-ACK and to build the full socket if the handshake completes.
+/// Costs [`crate::mem::SYN_ENTRY_BYTES`] against the node budget — a
+/// fraction of the [`crate::mem::TCP_CB_BYTES`] + buffers a spawned
+/// socket would pin.
+#[derive(Clone, Debug)]
+struct SynEntry {
+    remote_addr: Ipv6Addr,
+    remote_port: u16,
+    irs: TcpSeq,
+    iss: TcpSeq,
+    peer_window: u16,
+    peer_mss: Option<u16>,
+    sack_permitted: bool,
+    ts_val: Option<u32>,
+    ecn: bool,
+    created: Instant,
+    rexmit_at: Instant,
+    rexmits: u32,
+}
+
+/// What the listener decided about a segment.
+#[derive(Debug)]
+pub enum ListenerResponse {
+    /// Not listener-relevant (the caller applies its no-socket policy,
+    /// typically [`reset_for`]).
+    None,
+    /// Transmit this segment to the segment's source (a SYN-ACK from
+    /// the cache, or a cookie SYN-ACK).
+    Reply(Segment),
+    /// The handshake-completing ACK validated: adopt this established
+    /// socket.
+    Spawn(Box<TcpSocket>),
+}
+
+impl ListenerResponse {
+    /// The reply segment, if that's what this is.
+    pub fn into_reply(self) -> Option<Segment> {
+        match self {
+            ListenerResponse::Reply(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The spawned socket, if that's what this is.
+    pub fn into_spawn(self) -> Option<TcpSocket> {
+        match self {
+            ListenerResponse::Spawn(s) => Some(*s),
+            _ => None,
+        }
+    }
+}
+
+/// A passive (listening) socket with a bounded RFC 4987-style SYN
+/// cache. The paper's §4.1 observation — passive sockets carry almost
+/// no state (Tables 3-4 report 12-16 B) — extends to connection
+/// *setup*: a SYN costs one fixed-size cache slot, never a full socket.
+/// The socket, with its §4.3 buffers, is allocated only when the
+/// handshake-completing ACK proves the peer is real.
 #[derive(Clone, Debug)]
 pub struct ListenSocket {
     local_addr: Ipv6Addr,
     local_port: u16,
     cfg: TcpConfig,
+    scfg: SynCacheConfig,
+    entries: Vec<SynEntry>,
+    /// Live accepted connections, reported by the owner via
+    /// [`ListenSocket::sync_backlog`]; enforces the accept backlog.
+    backlog_used: usize,
+    /// Counters (every deny/evict, RFC 4987 event, and dedup).
+    pub stats: ListenStats,
 }
 
 impl ListenSocket {
-    /// Creates a listener on `local_addr`:`port`.
+    /// Creates a listener on `local_addr`:`port` with the default SYN
+    /// cache.
     pub fn new(cfg: TcpConfig, local_addr: Ipv6Addr, port: u16) -> Self {
+        Self::with_syn_cache(cfg, local_addr, port, SynCacheConfig::default())
+    }
+
+    /// Creates a listener with an explicit SYN-cache configuration.
+    pub fn with_syn_cache(
+        cfg: TcpConfig,
+        local_addr: Ipv6Addr,
+        port: u16,
+        scfg: SynCacheConfig,
+    ) -> Self {
+        assert!(scfg.slots > 0, "a SYN cache needs at least one slot");
         ListenSocket {
             local_addr,
             local_port: port,
             cfg,
+            scfg,
+            entries: Vec::new(),
+            backlog_used: 0,
+            stats: ListenStats::default(),
         }
     }
 
@@ -1423,32 +1613,333 @@ impl ListenSocket {
         self.local_port
     }
 
-    /// Handles a segment addressed to the listening port. A SYN spawns
-    /// a new connection (returned); anything else is ignored (the node
-    /// layer sends RSTs for segments that match no socket).
+    /// The config spawned sockets inherit.
+    pub fn config(&self) -> &TcpConfig {
+        &self.cfg
+    }
+
+    /// Half-open connections currently cached.
+    pub fn half_open(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Bytes the SYN cache currently charges against the node budget.
+    pub fn half_open_bytes(&self) -> usize {
+        self.entries.len() * crate::mem::SYN_ENTRY_BYTES
+    }
+
+    /// The memory footprint a spawned connection will pin (buffers +
+    /// control block); owners check this against the budget *before*
+    /// letting a handshake complete.
+    pub fn child_footprint(&self) -> usize {
+        self.cfg.send_buf + self.cfg.recv_buf + crate::mem::TCP_CB_BYTES
+    }
+
+    /// Reports how many accepted connections are currently live so the
+    /// accept-backlog limit can be enforced (the listener cannot see
+    /// its children close).
+    pub fn sync_backlog(&mut self, used: usize) {
+        self.backlog_used = used;
+    }
+
+    /// Handles a segment addressed to the listening port.
+    ///
+    /// - SYN: dedup against the cache by 4-tuple (a retransmitted SYN
+    ///   re-answers with the *same* SYN-ACK — no duplicate state), or
+    ///   park a new entry, evicting the oldest half-open when full.
+    ///   `iss` is the initial sequence number for a new entry (drawn by
+    ///   the host's RNG).
+    /// - ACK: if it completes a cached (or cookie) handshake, the full
+    ///   socket is built and returned; otherwise `None` so the caller
+    ///   can RST.
+    /// - RST: aborts the matching half-open entry (RFC 793).
     pub fn on_segment(
-        &self,
+        &mut self,
         remote_addr: Ipv6Addr,
         seg: &Segment,
         iss: u32,
         now: Instant,
-    ) -> Option<TcpSocket> {
-        if !seg.flags.contains(Flags::SYN)
-            || seg.flags.contains(Flags::ACK)
-            || seg.flags.contains(Flags::RST)
-        {
-            return None;
+    ) -> ListenerResponse {
+        if seg.flags.contains(Flags::RST) {
+            if let Some(i) = self.find(remote_addr, seg.src_port) {
+                // Acceptable RST for SYN-RECEIVED state: its sequence
+                // number must be the entry's rcv_nxt (irs + 1).
+                if seg.seq == self.entries[i].irs + 1 {
+                    self.entries.remove(i);
+                    self.stats.rst_aborts += 1;
+                }
+            }
+            return ListenerResponse::None;
         }
-        Some(TcpSocket::accept(
+        if seg.flags.contains(Flags::SYN) && !seg.flags.contains(Flags::ACK) {
+            return self.on_syn(remote_addr, seg, iss, now);
+        }
+        if seg.flags.contains(Flags::ACK) && !seg.flags.contains(Flags::SYN) {
+            return self.on_ack(remote_addr, seg, now);
+        }
+        ListenerResponse::None
+    }
+
+    fn on_syn(
+        &mut self,
+        remote_addr: Ipv6Addr,
+        seg: &Segment,
+        iss: u32,
+        now: Instant,
+    ) -> ListenerResponse {
+        self.stats.syns_rcvd += 1;
+        if let Some(i) = self.find(remote_addr, seg.src_port) {
+            if seg.seq == self.entries[i].irs {
+                // Satellite fix: a retransmitted SYN from the same
+                // 4-tuple refreshes the entry and re-answers — it must
+                // never mint an independent connection.
+                self.stats.syn_dups += 1;
+                let e = &mut self.entries[i];
+                e.peer_window = seg.window;
+                if let Some(ts) = seg.timestamps {
+                    e.ts_val = Some(ts.value);
+                }
+                let reply = self.synack_for(i, now);
+                return ListenerResponse::Reply(reply);
+            }
+            // Same 4-tuple, new ISN: the peer restarted. Replace the
+            // stale half-open with a fresh entry (same slot).
+            self.entries.remove(i);
+        }
+        if self.backlog_used >= self.scfg.accept_backlog {
+            self.stats.backlog_denied += 1;
+            return ListenerResponse::None;
+        }
+        if self.entries.len() >= self.scfg.slots {
+            if self.scfg.stateless_fallback {
+                self.stats.cookies_sent += 1;
+                return ListenerResponse::Reply(self.cookie_synack(remote_addr, seg, now));
+            }
+            // Eviction policy: oldest half-open first (ISSUE eviction
+            // order; established sockets are never touched).
+            let oldest = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.created)
+                .map(|(i, _)| i)
+                .expect("cache full implies non-empty");
+            self.entries.remove(oldest);
+            self.stats.evicted_oldest += 1;
+        }
+        self.entries.push(SynEntry {
+            remote_addr,
+            remote_port: seg.src_port,
+            irs: seg.seq,
+            iss: TcpSeq(iss),
+            peer_window: seg.window,
+            peer_mss: seg.mss,
+            sack_permitted: seg.sack_permitted,
+            ts_val: seg.timestamps.map(|t| t.value),
+            ecn: seg.flags.contains(Flags::ECE) && seg.flags.contains(Flags::CWR),
+            created: now,
+            rexmit_at: now + self.scfg.synack_timeout,
+            rexmits: 0,
+        });
+        let reply = self.synack_for(self.entries.len() - 1, now);
+        ListenerResponse::Reply(reply)
+    }
+
+    fn on_ack(&mut self, remote_addr: Ipv6Addr, seg: &Segment, now: Instant) -> ListenerResponse {
+        if let Some(i) = self.find(remote_addr, seg.src_port) {
+            let ok = seg.ack == self.entries[i].iss + 1 && seg.seq == self.entries[i].irs + 1;
+            if ok {
+                let e = self.entries.remove(i);
+                let sock = self.promote(&e, seg, now);
+                self.stats.spawned += 1;
+                return ListenerResponse::Spawn(Box::new(sock));
+            }
+            self.stats.bad_acks += 1;
+            return ListenerResponse::None;
+        }
+        if self.scfg.stateless_fallback {
+            // No entry: maybe our state was the cookie. Reconstruct the
+            // ISS from the 4-tuple and the implied IRS (seq - 1).
+            let irs = seg.seq - 1;
+            let expected = TcpSeq(self.cookie(remote_addr, seg.src_port, irs));
+            if seg.ack == expected + 1 {
+                self.stats.cookies_accepted += 1;
+                let e = SynEntry {
+                    remote_addr,
+                    remote_port: seg.src_port,
+                    irs,
+                    iss: expected,
+                    peer_window: seg.window,
+                    // Cookie mode forgets the options the SYN offered
+                    // (they were never stored); fall back to a bare
+                    // connection, as real SYN-cookie stacks do.
+                    peer_mss: None,
+                    sack_permitted: false,
+                    ts_val: None,
+                    ecn: false,
+                    created: now,
+                    rexmit_at: now,
+                    rexmits: 0,
+                };
+                let sock = self.promote(&e, seg, now);
+                self.stats.spawned += 1;
+                return ListenerResponse::Spawn(Box::new(sock));
+            }
+            self.stats.cookies_rejected += 1;
+        }
+        self.stats.bad_acks += 1;
+        ListenerResponse::None
+    }
+
+    /// Earliest SYN-ACK retransmit deadline, for the owner's timer.
+    pub fn poll_at(&self) -> Option<Instant> {
+        self.entries.iter().map(|e| e.rexmit_at).min()
+    }
+
+    /// Timer service: retransmits due SYN-ACKs (with exponential
+    /// backoff) and reclaims entries whose retries are exhausted —
+    /// RFC 4987's timeout-based reclamation. Returns at most one
+    /// `(peer, SYN-ACK)` per call; drivers loop until `None`.
+    pub fn poll_transmit(&mut self, now: Instant) -> Option<(Ipv6Addr, Segment)> {
+        loop {
+            let due = self
+                .entries
+                .iter()
+                .position(|e| e.rexmit_at <= now)?;
+            if self.entries[due].rexmits >= self.scfg.synack_retries {
+                self.entries.remove(due);
+                self.stats.expired += 1;
+                continue;
+            }
+            let backoff = {
+                let e = &mut self.entries[due];
+                e.rexmits += 1;
+                self.scfg.synack_timeout.saturating_mul(1 << e.rexmits)
+            };
+            self.entries[due].rexmit_at = now + backoff;
+            self.stats.synack_rexmits += 1;
+            let peer = self.entries[due].remote_addr;
+            let seg = self.synack_for(due, now);
+            return Some((peer, seg));
+        }
+    }
+
+    /// Drops every half-open entry that has outlived its full
+    /// retry schedule as of `now` (explicit reclamation for owners
+    /// that want to sweep without transmitting).
+    pub fn reclaim(&mut self, now: Instant) {
+        let retries = self.scfg.synack_retries;
+        let before = self.entries.len();
+        self.entries
+            .retain(|e| !(e.rexmit_at <= now && e.rexmits >= retries));
+        self.stats.expired += (before - self.entries.len()) as u64;
+    }
+
+    fn find(&self, remote_addr: Ipv6Addr, remote_port: u16) -> Option<usize> {
+        self.entries
+            .iter()
+            .position(|e| e.remote_addr == remote_addr && e.remote_port == remote_port)
+    }
+
+    /// Builds the SYN-ACK for entry `i` (also used verbatim for dedup
+    /// replies and timer retransmissions).
+    fn synack_for(&self, i: usize, now: Instant) -> Segment {
+        let e = &self.entries[i];
+        let mut s = Segment::new(
+            self.local_port,
+            e.remote_port,
+            e.iss,
+            e.irs + 1,
+            Flags::SYN | Flags::ACK,
+        );
+        s.window = self.cfg.recv_buf.min(65535) as u16;
+        s.mss = Some(self.cfg.mss.min(65535) as u16);
+        s.sack_permitted = self.cfg.use_sack && e.sack_permitted;
+        if self.cfg.use_timestamps {
+            if let Some(v) = e.ts_val {
+                s.timestamps = Some(Timestamps {
+                    value: self.ts_clock(now),
+                    echo: v,
+                });
+            }
+        }
+        // RFC 3168 §6.1.1: SYN-ACK answers ECE|CWR with ECE only.
+        if self.cfg.use_ecn && e.ecn {
+            s.flags |= Flags::ECE;
+        }
+        s
+    }
+
+    /// A stateless SYN-ACK whose ISS *is* the cookie: no options
+    /// beyond MSS, no cache slot.
+    fn cookie_synack(&self, remote_addr: Ipv6Addr, syn: &Segment, _now: Instant) -> Segment {
+        let iss = self.cookie(remote_addr, syn.src_port, syn.seq);
+        let mut s = Segment::new(
+            self.local_port,
+            syn.src_port,
+            TcpSeq(iss),
+            syn.seq + 1,
+            Flags::SYN | Flags::ACK,
+        );
+        s.window = self.cfg.recv_buf.min(65535) as u16;
+        s.mss = Some(self.cfg.mss.min(65535) as u16);
+        s
+    }
+
+    /// Keyed FNV-1a over the 4-tuple and the client ISN.
+    fn cookie(&self, remote_addr: Ipv6Addr, remote_port: u16, irs: TcpSeq) -> u32 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64 ^ self.scfg.cookie_secret;
+        let mut mix = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        mix(&remote_addr.0);
+        mix(&remote_port.to_be_bytes());
+        mix(&self.local_port.to_be_bytes());
+        mix(&irs.0.to_be_bytes());
+        (h >> 16) as u32
+    }
+
+    /// The listener's timestamp clock (same formula as
+    /// [`TcpSocket::ts_clock`], so a promoted socket's TSvals continue
+    /// the sequence the SYN-ACK started).
+    fn ts_clock(&self, now: Instant) -> u32 {
+        (now.as_micros() / self.cfg.ts_granularity.as_micros()).max(1) as u32
+    }
+
+    /// Builds the established socket from a cache entry plus the
+    /// handshake-completing ACK.
+    fn promote(&self, e: &SynEntry, ack: &Segment, now: Instant) -> TcpSocket {
+        // Reconstruct the SYN the entry summarised and run it through
+        // the normal passive-open negotiation.
+        let mut syn = Segment::new(e.remote_port, self.local_port, e.irs, TcpSeq(0), Flags::SYN);
+        syn.window = e.peer_window;
+        syn.mss = e.peer_mss;
+        syn.sack_permitted = e.sack_permitted;
+        syn.timestamps = e.ts_val.map(|v| Timestamps { value: v, echo: 0 });
+        if e.ecn {
+            syn.flags |= Flags::ECE | Flags::CWR;
+        }
+        let mut s = TcpSocket::accept(
             self.cfg.clone(),
             self.local_addr,
             self.local_port,
-            remote_addr,
-            seg.src_port,
-            seg,
-            iss,
+            e.remote_addr,
+            e.remote_port,
+            &syn,
+            e.iss.0,
             now,
-        ))
+        );
+        // The SYN-ACK already went out from the cache: advance the
+        // socket's send state past it (and account it) so the ACK we
+        // are about to feed lands in-window.
+        s.snd_nxt = s.iss + 1;
+        s.snd_max = s.snd_nxt;
+        s.stats.segs_sent += 1;
+        s.on_segment(ack, Ecn::NotCapable, now);
+        s
     }
 }
 
@@ -1492,12 +1983,17 @@ mod tests {
         let mut a = sock();
         a.connect(b_addr, 80, 100, t);
         let syn = a.poll_transmit(t).unwrap();
-        let l = ListenSocket::new(TcpConfig::default(), b_addr, 80);
-        let mut b = l.on_segment(a_addr, &syn, 200, t).unwrap();
-        let synack = b.poll_transmit(t).unwrap();
+        let mut l = ListenSocket::new(TcpConfig::default(), b_addr, 80);
+        let synack = l
+            .on_segment(a_addr, &syn, 200, t)
+            .into_reply()
+            .expect("SYN-ACK from the cache");
         a.on_segment(&synack, Ecn::NotCapable, t);
         let ack = a.poll_transmit(t).unwrap();
-        b.on_segment(&ack, Ecn::NotCapable, t);
+        let b = l
+            .on_segment(a_addr, &ack, 0, t)
+            .into_spawn()
+            .expect("socket on handshake completion");
         (a, b)
     }
 
@@ -1668,20 +2164,233 @@ mod tests {
     }
 
     #[test]
-    fn listener_rejects_non_syn_and_spawns_on_syn() {
-        let l = ListenSocket::new(TcpConfig::default(), NodeId(9).mesh_addr(), 80);
+    fn listener_caches_syn_and_spawns_on_completing_ack() {
+        let mut l = ListenSocket::new(TcpConfig::default(), NodeId(9).mesh_addr(), 80);
         assert_eq!(l.port(), 80);
         let t = Instant::ZERO;
-        let ack = Segment::new(5, 80, TcpSeq(0), TcpSeq(0), Flags::ACK);
-        assert!(l.on_segment(NodeId(1).mesh_addr(), &ack, 1, t).is_none());
+        let peer = NodeId(1).mesh_addr();
+        // A stray ACK matches no entry: nothing spawns, counter ticks.
+        let stray = Segment::new(5, 80, TcpSeq(0), TcpSeq(0), Flags::ACK);
+        assert!(l.on_segment(peer, &stray, 1, t).into_spawn().is_none());
+        assert_eq!(l.stats.bad_acks, 1);
+        // RST+SYN garbage is ignored.
         let rst = Segment::new(5, 80, TcpSeq(0), TcpSeq(0), Flags::RST | Flags::SYN);
-        assert!(l.on_segment(NodeId(1).mesh_addr(), &rst, 1, t).is_none());
+        assert!(matches!(
+            l.on_segment(peer, &rst, 1, t),
+            ListenerResponse::None
+        ));
+        // A SYN parks in the cache and is answered — no socket yet.
         let mut syn = Segment::new(5, 80, TcpSeq(77), TcpSeq(0), Flags::SYN);
         syn.mss = Some(300);
-        let s = l.on_segment(NodeId(1).mesh_addr(), &syn, 1, t).expect("spawn");
-        assert_eq!(s.state(), TcpState::SynReceived);
+        let synack = l.on_segment(peer, &syn, 1, t).into_reply().expect("SYN-ACK");
+        assert!(synack.flags.contains(Flags::SYN) && synack.flags.contains(Flags::ACK));
+        assert_eq!(synack.seq, TcpSeq(1));
+        assert_eq!(synack.ack, TcpSeq(78));
+        assert_eq!(l.half_open(), 1);
+        assert_eq!(l.half_open_bytes(), crate::mem::SYN_ENTRY_BYTES);
+        // The completing ACK builds the socket with the SYN's options.
+        let mut ack = Segment::new(5, 80, TcpSeq(78), TcpSeq(2), Flags::ACK);
+        ack.window = 1000;
+        let s = l.on_segment(peer, &ack, 0, t).into_spawn().expect("spawn");
+        assert_eq!(s.state(), TcpState::Established);
         assert_eq!(s.mss(), 300, "negotiated down to the peer's MSS");
-        assert_eq!(s.remote(), (NodeId(1).mesh_addr(), 5));
+        assert_eq!(s.remote(), (peer, 5));
+        assert_eq!(l.half_open(), 0, "entry promoted and freed");
+        assert_eq!(l.stats.spawned, 1);
+        assert!(s.mem_footprint() > 0, "live socket pins its buffers");
+    }
+
+    /// The satellite fix: a retransmitted SYN from the same 4-tuple
+    /// must re-answer from the existing entry, never mint a second
+    /// connection (the old listener spawned one socket per SYN copy).
+    #[test]
+    fn retransmitted_syn_deduplicates() {
+        let mut l = ListenSocket::new(TcpConfig::default(), NodeId(9).mesh_addr(), 80);
+        let t = Instant::ZERO;
+        let peer = NodeId(1).mesh_addr();
+        let syn = Segment::new(5, 80, TcpSeq(77), TcpSeq(0), Flags::SYN);
+        let first = l.on_segment(peer, &syn, 10, t).into_reply().unwrap();
+        // Same SYN again, with a *different* candidate ISS: the cached
+        // entry (and its ISS) must win.
+        let again = l
+            .on_segment(peer, &syn, 99, t + Duration::from_millis(500))
+            .into_reply()
+            .expect("dedup re-answers");
+        assert_eq!(l.half_open(), 1, "one entry, not two");
+        assert_eq!(l.stats.syn_dups, 1);
+        assert_eq!(again.seq, first.seq, "same ISS re-offered");
+        // A SYN with a new ISN from the same 4-tuple is a peer restart:
+        // the stale entry is replaced, still exactly one slot used.
+        let syn2 = Segment::new(5, 80, TcpSeq(500), TcpSeq(0), Flags::SYN);
+        let fresh = l.on_segment(peer, &syn2, 42, t).into_reply().unwrap();
+        assert_eq!(l.half_open(), 1);
+        assert_eq!(fresh.ack, TcpSeq(501));
+    }
+
+    /// Under flood the cache evicts its oldest half-open entry; it
+    /// never grows past its slot budget.
+    #[test]
+    fn syn_flood_evicts_oldest_within_slot_budget() {
+        let scfg = SynCacheConfig {
+            slots: 4,
+            accept_backlog: 64,
+            ..SynCacheConfig::default()
+        };
+        let mut l =
+            ListenSocket::with_syn_cache(TcpConfig::default(), NodeId(9).mesh_addr(), 80, scfg);
+        let mut t = Instant::ZERO;
+        for i in 0..20u16 {
+            let syn = Segment::new(1000 + i, 80, TcpSeq(u32::from(i)), TcpSeq(0), Flags::SYN);
+            let r = l.on_segment(NodeId(1).mesh_addr(), &syn, u32::from(i) * 7, t);
+            assert!(r.into_reply().is_some(), "every SYN still answered");
+            assert!(l.half_open() <= 4, "cache bounded at its slot count");
+            t += Duration::from_millis(10);
+        }
+        assert_eq!(l.stats.syns_rcvd, 20);
+        assert_eq!(l.stats.evicted_oldest, 16);
+        assert_eq!(l.half_open_bytes(), 4 * crate::mem::SYN_ENTRY_BYTES);
+        // The four survivors are the newest four (oldest-first policy).
+        let survivors: Vec<u16> = l.entries.iter().map(|e| e.remote_port).collect();
+        assert_eq!(survivors, vec![1016, 1017, 1018, 1019]);
+    }
+
+    /// SYN-ACKs retransmit with backoff and the entry is reclaimed
+    /// after the retry budget — RFC 4987 timeout reclamation.
+    #[test]
+    fn half_open_entries_retransmit_then_expire() {
+        let scfg = SynCacheConfig {
+            synack_retries: 2,
+            synack_timeout: Duration::from_secs(1),
+            ..SynCacheConfig::default()
+        };
+        let mut l =
+            ListenSocket::with_syn_cache(TcpConfig::default(), NodeId(9).mesh_addr(), 80, scfg);
+        let t0 = Instant::ZERO;
+        let syn = Segment::new(5, 80, TcpSeq(77), TcpSeq(0), Flags::SYN);
+        let _ = l.on_segment(NodeId(1).mesh_addr(), &syn, 10, t0);
+        assert_eq!(l.poll_at(), Some(t0 + Duration::from_secs(1)));
+        // First retransmission at +1s, second at +1s+2s.
+        let (peer, s1) = l.poll_transmit(t0 + Duration::from_secs(1)).expect("rexmit 1");
+        assert_eq!(peer, NodeId(1).mesh_addr());
+        assert!(s1.flags.contains(Flags::SYN) && s1.flags.contains(Flags::ACK));
+        let t2 = t0 + Duration::from_secs(3);
+        assert!(l.poll_transmit(t2).is_some(), "rexmit 2");
+        assert_eq!(l.stats.synack_rexmits, 2);
+        // Retries exhausted: the next due poll reclaims instead.
+        let t3 = t0 + Duration::from_secs(8);
+        assert!(l.poll_transmit(t3).is_none());
+        assert_eq!(l.half_open(), 0);
+        assert_eq!(l.stats.expired, 1);
+        assert_eq!(l.poll_at(), None, "no timer left");
+    }
+
+    /// The accept-backlog limit drops SYNs while enough accepted
+    /// children are alive, and admits again once they close.
+    #[test]
+    fn accept_backlog_limits_new_syns() {
+        let scfg = SynCacheConfig {
+            accept_backlog: 2,
+            ..SynCacheConfig::default()
+        };
+        let mut l =
+            ListenSocket::with_syn_cache(TcpConfig::default(), NodeId(9).mesh_addr(), 80, scfg);
+        let t = Instant::ZERO;
+        l.sync_backlog(2);
+        let syn = Segment::new(5, 80, TcpSeq(77), TcpSeq(0), Flags::SYN);
+        assert!(matches!(
+            l.on_segment(NodeId(1).mesh_addr(), &syn, 10, t),
+            ListenerResponse::None
+        ));
+        assert_eq!(l.stats.backlog_denied, 1);
+        l.sync_backlog(1);
+        assert!(l.on_segment(NodeId(1).mesh_addr(), &syn, 10, t).into_reply().is_some());
+    }
+
+    /// An acceptable RST tears down the matching half-open entry.
+    #[test]
+    fn rst_aborts_half_open_entry() {
+        let mut l = ListenSocket::new(TcpConfig::default(), NodeId(9).mesh_addr(), 80);
+        let t = Instant::ZERO;
+        let peer = NodeId(1).mesh_addr();
+        let syn = Segment::new(5, 80, TcpSeq(77), TcpSeq(0), Flags::SYN);
+        let _ = l.on_segment(peer, &syn, 10, t);
+        // Out-of-window RST ignored.
+        let bad = Segment::new(5, 80, TcpSeq(5000), TcpSeq(0), Flags::RST);
+        let _ = l.on_segment(peer, &bad, 0, t);
+        assert_eq!(l.half_open(), 1);
+        // RST at rcv_nxt (irs+1) aborts.
+        let rst = Segment::new(5, 80, TcpSeq(78), TcpSeq(0), Flags::RST);
+        let _ = l.on_segment(peer, &rst, 0, t);
+        assert_eq!(l.half_open(), 0);
+        assert_eq!(l.stats.rst_aborts, 1);
+    }
+
+    /// Stateless fallback: when the cache is full, a cookie SYN-ACK is
+    /// issued with no slot, and a valid cookie ACK still completes the
+    /// handshake (without the SYN's options, as real cookies do).
+    #[test]
+    fn cookie_fallback_completes_without_cache_slot() {
+        let scfg = SynCacheConfig {
+            slots: 1,
+            stateless_fallback: true,
+            ..SynCacheConfig::default()
+        };
+        let mut l =
+            ListenSocket::with_syn_cache(TcpConfig::default(), NodeId(9).mesh_addr(), 80, scfg);
+        let t = Instant::ZERO;
+        // Fill the single slot.
+        let filler = Segment::new(9, 80, TcpSeq(1), TcpSeq(0), Flags::SYN);
+        let _ = l.on_segment(NodeId(3).mesh_addr(), &filler, 10, t);
+        // Overflow SYN gets a stateless cookie reply.
+        let peer = NodeId(1).mesh_addr();
+        let mut syn = Segment::new(5, 80, TcpSeq(77), TcpSeq(0), Flags::SYN);
+        syn.sack_permitted = true;
+        syn.window = 2000;
+        let synack = l.on_segment(peer, &syn, 11, t).into_reply().expect("cookie SYN-ACK");
+        assert_eq!(l.half_open(), 1, "no extra slot consumed");
+        assert_eq!(l.stats.cookies_sent, 1);
+        assert!(!synack.sack_permitted, "cookie reply carries no options");
+        assert!(synack.timestamps.is_none());
+        // The honest client's ACK reconstructs the connection.
+        let mut ack = Segment::new(5, 80, TcpSeq(78), synack.seq + 1, Flags::ACK);
+        ack.window = 2000;
+        let s = l.on_segment(peer, &ack, 0, t).into_spawn().expect("cookie spawn");
+        assert_eq!(s.state(), TcpState::Established);
+        assert_eq!(l.stats.cookies_accepted, 1);
+        // A forged ACK with the wrong cookie is rejected.
+        let forged = Segment::new(6, 80, TcpSeq(78), TcpSeq(12345), Flags::ACK);
+        assert!(l.on_segment(peer, &forged, 0, t).into_spawn().is_none());
+        assert_eq!(l.stats.cookies_rejected, 1);
+    }
+
+    /// The promoted socket is fully functional: data flows both ways
+    /// with the options negotiated in the original SYN.
+    #[test]
+    fn promoted_socket_carries_data() {
+        let (mut a, mut b) = handshake();
+        let t = Instant::ZERO;
+        assert_eq!(a.send(b"ping"), 4);
+        let seg = a.poll_transmit(t).expect("data out");
+        b.on_segment(&seg, Ecn::NotCapable, t);
+        let mut buf = [0u8; 8];
+        assert_eq!(b.recv(&mut buf), 4);
+        assert_eq!(&buf[..4], b"ping");
+        assert_eq!(b.send(b"pong"), 4);
+        let back = b.poll_transmit(t).expect("reply data");
+        a.on_segment(&back, Ecn::NotCapable, t);
+        assert_eq!(a.recv(&mut buf), 4);
+        assert_eq!(&buf[..4], b"pong");
+    }
+
+    /// Listener stats digest is stable and counter-sensitive, like
+    /// `TcpStats::digest`.
+    #[test]
+    fn listen_stats_digest_sensitivity() {
+        let a = ListenStats::default();
+        let mut b = ListenStats::default();
+        assert_eq!(a.digest(), b.digest());
+        b.syn_dups = 1;
+        assert_ne!(a.digest(), b.digest());
     }
 
     #[test]
@@ -1724,9 +2433,17 @@ mod tests {
     #[test]
     fn rst_subsumes_pending_ack_in_syn_received() {
         let t = Instant::ZERO;
-        let l = ListenSocket::new(TcpConfig::default(), NodeId(9).mesh_addr(), 80);
         let syn = Segment::new(5, 80, TcpSeq(77), TcpSeq(0), Flags::SYN);
-        let mut s = l.on_segment(NodeId(1).mesh_addr(), &syn, 300, t).unwrap();
+        let mut s = TcpSocket::accept(
+            TcpConfig::default(),
+            NodeId(9).mesh_addr(),
+            80,
+            NodeId(1).mesh_addr(),
+            5,
+            &syn,
+            300,
+            t,
+        );
         let _synack = s.poll_transmit(t).unwrap();
         // Duplicate SYN: queues a re-ACK/challenge.
         s.on_segment(&syn, Ecn::NotCapable, t);

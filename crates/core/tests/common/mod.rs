@@ -59,6 +59,33 @@ pub struct Harness {
 pub const A_PORT: u16 = 49152;
 pub const B_PORT: u16 = 80;
 
+/// Completes a passive open through a listener's RFC 4987 SYN cache:
+/// feeds the SYN, relays the cached SYN-ACK to `a` one `latency`
+/// later, and returns the socket spawned by the completing ACK (two
+/// latencies after the SYN, matching what a symmetric pipe delivers).
+#[allow(dead_code)]
+pub fn accept_via_listener(
+    listener: &mut ListenSocket,
+    a: &mut TcpSocket,
+    a_addr: lln_netip::Ipv6Addr,
+    syn: &Segment,
+    iss: u32,
+    now: Instant,
+    latency: Duration,
+) -> TcpSocket {
+    let synack = listener
+        .on_segment(a_addr, syn, iss, now)
+        .into_reply()
+        .expect("SYN parks in the cache and is answered");
+    let t1 = now + latency;
+    a.on_segment(&synack, Ecn::NotCapable, t1);
+    let ack = a.poll_transmit(t1).expect("handshake ACK");
+    listener
+        .on_segment(a_addr, &ack, 0, t1 + latency)
+        .into_spawn()
+        .expect("socket spawned on handshake completion")
+}
+
 impl Harness {
     /// Builds a harness with un-connected sockets.
     pub fn new(cfg: TcpConfig, latency: Duration) -> Self {
@@ -88,12 +115,11 @@ impl Harness {
         let a_addr = NodeId(1).mesh_addr();
         let b_addr = NodeId(2).mesh_addr();
         h.a.connect(b_addr, B_PORT, 10_000, h.now);
-        // Drive the SYN to the listener manually.
+        // Drive the handshake through the listener's SYN cache
+        // manually (the pipe only joins established endpoints).
         let syn = h.a.poll_transmit(h.now).expect("SYN");
-        let listener = ListenSocket::new(cfg, b_addr, B_PORT);
-        h.b = listener
-            .on_segment(a_addr, &syn, 20_000, h.now)
-            .expect("SYN accepted");
+        let mut listener = ListenSocket::new(cfg, b_addr, B_PORT);
+        h.b = accept_via_listener(&mut listener, &mut h.a, a_addr, &syn, 20_000, h.now, latency);
         h.run_for(Duration::from_secs(5));
         assert_eq!(h.a.state(), TcpState::Established, "client established");
         assert_eq!(h.b.state(), TcpState::Established, "server established");

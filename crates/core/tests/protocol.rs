@@ -33,8 +33,8 @@ fn mss_negotiated_to_minimum() {
     let a_addr = h.a.local().0;
     h.a.connect(b_addr, common::B_PORT, 1, h.now);
     let syn = h.a.poll_transmit(h.now).unwrap();
-    let listener = tcplp::ListenSocket::new(small, b_addr, common::B_PORT);
-    h.b = listener.on_segment(a_addr, &syn, 2, h.now).unwrap();
+    let mut listener = tcplp::ListenSocket::new(small, b_addr, common::B_PORT);
+    h.b = common::accept_via_listener(&mut listener, &mut h.a, a_addr, &syn, 2, h.now, LAT);
     h.run_for(Duration::from_secs(2));
     assert_eq!(h.a.state(), TcpState::Established);
     assert_eq!(h.a.mss(), 300);
@@ -217,8 +217,8 @@ fn flow_control_window_respected() {
     let a_addr = h.a.local().0;
     h.a.connect(b_addr, common::B_PORT, 1, h.now);
     let syn = h.a.poll_transmit(h.now).unwrap();
-    let listener = tcplp::ListenSocket::new(small, b_addr, common::B_PORT);
-    h.b = listener.on_segment(a_addr, &syn, 2, h.now).unwrap();
+    let mut listener = tcplp::ListenSocket::new(small, b_addr, common::B_PORT);
+    h.b = common::accept_via_listener(&mut listener, &mut h.a, a_addr, &syn, 2, h.now, LAT);
     h.run_for(Duration::from_secs(2));
     assert_eq!(h.a.state(), TcpState::Established);
 
@@ -256,8 +256,8 @@ fn zero_window_probe_reopens_stalled_flow() {
     let a_addr = h.a.local().0;
     h.a.connect(b_addr, common::B_PORT, 1, h.now);
     let syn = h.a.poll_transmit(h.now).unwrap();
-    let listener = tcplp::ListenSocket::new(small, b_addr, common::B_PORT);
-    h.b = listener.on_segment(a_addr, &syn, 2, h.now).unwrap();
+    let mut listener = tcplp::ListenSocket::new(small, b_addr, common::B_PORT);
+    h.b = common::accept_via_listener(&mut listener, &mut h.a, a_addr, &syn, 2, h.now, LAT);
     h.run_for(Duration::from_secs(2));
 
     // Fill B's buffer completely, leave it undrained: window goes to 0.
@@ -372,8 +372,8 @@ fn syn_retransmission_on_lost_syn_ack() {
     });
     h.a.connect(b_addr, common::B_PORT, 1, h.now);
     let syn = h.a.poll_transmit(h.now).unwrap();
-    let listener = tcplp::ListenSocket::new(cfg, b_addr, common::B_PORT);
-    h.b = listener.on_segment(a_addr, &syn, 2, h.now).unwrap();
+    let mut listener = tcplp::ListenSocket::new(cfg, b_addr, common::B_PORT);
+    h.b = common::accept_via_listener(&mut listener, &mut h.a, a_addr, &syn, 2, h.now, LAT);
     h.run_for(Duration::from_secs(10));
     assert_eq!(h.a.state(), TcpState::Established);
     assert_eq!(h.b.state(), TcpState::Established);

@@ -127,8 +127,8 @@ fn ecn_negotiation_and_ce_response() {
         syn.flags.contains(Flags::ECE) && syn.flags.contains(Flags::CWR),
         "ECN-setup SYN"
     );
-    let listener = tcplp::ListenSocket::new(ecn_cfg, b_addr, common::B_PORT);
-    h.b = listener.on_segment(a_addr, &syn, 2, h.now).unwrap();
+    let mut listener = tcplp::ListenSocket::new(ecn_cfg, b_addr, common::B_PORT);
+    h.b = common::accept_via_listener(&mut listener, &mut h.a, a_addr, &syn, 2, h.now, LAT);
     h.run_for(Duration::from_secs(2));
     assert_eq!(h.a.state(), TcpState::Established);
     assert!(h.a.ecn_active() && h.b.ecn_active(), "ECN negotiated");
@@ -158,8 +158,8 @@ fn persist_probes_back_off_exponentially() {
     let (b_addr, _) = h.b.local();
     h.a.connect(b_addr, common::B_PORT, 1, h.now);
     let syn = h.a.poll_transmit(h.now).unwrap();
-    let listener = tcplp::ListenSocket::new(small, b_addr, common::B_PORT);
-    h.b = listener.on_segment(a_addr, &syn, 2, h.now).unwrap();
+    let mut listener = tcplp::ListenSocket::new(small, b_addr, common::B_PORT);
+    h.b = common::accept_via_listener(&mut listener, &mut h.a, a_addr, &syn, 2, h.now, LAT);
     h.run_for(Duration::from_secs(2));
     // Fill B and never drain: persist probes flow, spaced increasingly.
     h.a.send(&vec![1u8; 2000]);
@@ -238,8 +238,8 @@ fn no_nagle_sends_immediately() {
     let (b_addr, _) = h.b.local();
     h.a.connect(b_addr, common::B_PORT, 1, h.now);
     let syn = h.a.poll_transmit(h.now).unwrap();
-    let listener = tcplp::ListenSocket::new(nodelay, b_addr, common::B_PORT);
-    h.b = listener.on_segment(a_addr, &syn, 2, h.now).unwrap();
+    let mut listener = tcplp::ListenSocket::new(nodelay, b_addr, common::B_PORT);
+    h.b = common::accept_via_listener(&mut listener, &mut h.a, a_addr, &syn, 2, h.now, LAT);
     h.run_for(Duration::from_secs(2));
     // Two small writes with outstanding data: both go out immediately.
     h.a.send(&[1u8; 10]);
@@ -255,11 +255,13 @@ fn no_nagle_sends_immediately() {
 
 #[test]
 fn listener_ignores_non_syn_and_rst_generated() {
-    let l = tcplp::ListenSocket::new(cfg(), lln_netip::NodeId(9).mesh_addr(), 80);
+    let mut l = tcplp::ListenSocket::new(cfg(), lln_netip::NodeId(9).mesh_addr(), 80);
     let bare_ack = Segment::new(5, 80, TcpSeq(1), TcpSeq(2), Flags::ACK);
     assert!(l
         .on_segment(lln_netip::NodeId(1).mesh_addr(), &bare_ack, 7, Instant::ZERO)
+        .into_spawn()
         .is_none());
+    assert_eq!(l.stats.bad_acks, 1, "stray ACK counted, not spawned");
     // The host layer answers with a RST derived from the segment.
     let rst = tcplp::reset_for(&bare_ack).expect("rst for stray ack");
     assert!(rst.flags.contains(Flags::RST));

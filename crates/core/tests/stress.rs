@@ -130,8 +130,16 @@ fn tiny_buffers_under_loss() {
         let (b_addr, _) = h.b.local();
         h.a.connect(b_addr, common::B_PORT, 1, h.now);
         let syn = h.a.poll_transmit(h.now).unwrap();
-        let listener = tcplp::ListenSocket::new(cfg, b_addr, common::B_PORT);
-        h.b = listener.on_segment(a_addr, &syn, 2, h.now).unwrap();
+        let mut listener = tcplp::ListenSocket::new(cfg, b_addr, common::B_PORT);
+        h.b = common::accept_via_listener(
+            &mut listener,
+            &mut h.a,
+            a_addr,
+            &syn,
+            2,
+            h.now,
+            Duration::from_millis(15),
+        );
         h.run_for(Duration::from_secs(5));
         let mut rng = Rng::new(seed);
         h.set_fault(move |_, _, _| Fault {

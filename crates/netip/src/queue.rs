@@ -20,38 +20,64 @@ pub enum QueueOutcome {
 }
 
 /// A bounded FIFO with tail-drop. `T` is the queued packet type.
+///
+/// Besides the packet-count bound, an optional byte bound
+/// ([`FifoQueue::with_byte_bound`]) caps the *weighed* size of the
+/// queue: each packet is offered with a byte weight and the running
+/// total never exceeds the bound — overload hardening for ingress
+/// queues that must fit a fixed memory budget.
 #[derive(Clone, Debug)]
 pub struct FifoQueue<T> {
-    items: std::collections::VecDeque<T>,
+    items: std::collections::VecDeque<(T, usize)>,
     capacity: usize,
+    max_bytes: usize,
+    bytes: usize,
     drops: u64,
 }
 
 impl<T> FifoQueue<T> {
-    /// Creates a queue bounded at `capacity` packets.
+    /// Creates a queue bounded at `capacity` packets (bytes unbounded).
     pub fn new(capacity: usize) -> Self {
+        Self::with_byte_bound(capacity, usize::MAX)
+    }
+
+    /// Creates a queue bounded at `capacity` packets AND `max_bytes`
+    /// weighed bytes, whichever binds first.
+    pub fn with_byte_bound(capacity: usize, max_bytes: usize) -> Self {
         assert!(capacity > 0);
         FifoQueue {
             items: std::collections::VecDeque::new(),
             capacity,
+            max_bytes,
+            bytes: 0,
             drops: 0,
         }
     }
 
-    /// Offers a packet; tail-drops when full.
+    /// Offers a packet with byte weight 0; tail-drops when full.
     pub fn offer(&mut self, item: T) -> QueueOutcome {
-        if self.items.len() >= self.capacity {
+        self.offer_weighed(item, 0)
+    }
+
+    /// Offers a packet charging `weight` bytes against the byte bound;
+    /// tail-drops (and counts) when either bound would be exceeded.
+    pub fn offer_weighed(&mut self, item: T, weight: usize) -> QueueOutcome {
+        if self.items.len() >= self.capacity || self.bytes.saturating_add(weight) > self.max_bytes
+        {
             self.drops += 1;
             QueueOutcome::Dropped
         } else {
-            self.items.push_back(item);
+            self.bytes += weight;
+            self.items.push_back((item, weight));
             QueueOutcome::Enqueued
         }
     }
 
     /// Removes the packet at the head.
     pub fn pop(&mut self) -> Option<T> {
-        self.items.pop_front()
+        let (item, w) = self.items.pop_front()?;
+        self.bytes -= w;
+        Some(item)
     }
 
     /// Current queue depth.
@@ -64,6 +90,11 @@ impl<T> FifoQueue<T> {
         self.items.is_empty()
     }
 
+    /// Weighed bytes currently queued.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
     /// Total tail-drops so far.
     pub fn drops(&self) -> u64 {
         self.drops
@@ -71,7 +102,89 @@ impl<T> FifoQueue<T> {
 
     /// Iterate queued items front to back.
     pub fn iter(&self) -> impl Iterator<Item = &T> {
-        self.items.iter()
+        self.items.iter().map(|(item, _)| item)
+    }
+}
+
+/// A slot- and byte-bounded deque with drop-tail accounting.
+///
+/// Replaces the unbounded `VecDeque`s that backed per-node control and
+/// indirect (pending-downlink) frame queues: `push_back` refuses — and
+/// counts — anything that would exceed either bound, so a flood can
+/// pressure the queue but never grow it past its budget.
+#[derive(Clone, Debug)]
+pub struct BoundedDeque<T> {
+    items: std::collections::VecDeque<(T, usize)>,
+    max_items: usize,
+    max_bytes: usize,
+    bytes: usize,
+    drops: u64,
+}
+
+impl<T> BoundedDeque<T> {
+    /// Creates a deque bounded at `max_items` entries and `max_bytes`
+    /// weighed bytes.
+    pub fn new(max_items: usize, max_bytes: usize) -> Self {
+        assert!(max_items > 0);
+        BoundedDeque {
+            items: std::collections::VecDeque::new(),
+            max_items,
+            max_bytes,
+            bytes: 0,
+            drops: 0,
+        }
+    }
+
+    /// Appends `item` charging `weight` bytes; returns `false` (and
+    /// counts a drop) when either bound would be exceeded.
+    pub fn push_back(&mut self, item: T, weight: usize) -> bool {
+        if self.items.len() >= self.max_items || self.bytes.saturating_add(weight) > self.max_bytes
+        {
+            self.drops += 1;
+            false
+        } else {
+            self.bytes += weight;
+            self.items.push_back((item, weight));
+            true
+        }
+    }
+
+    /// Removes and returns the front item.
+    pub fn pop_front(&mut self) -> Option<T> {
+        let (item, w) = self.items.pop_front()?;
+        self.bytes -= w;
+        Some(item)
+    }
+
+    /// Entries currently queued.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Weighed bytes currently queued.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Refused pushes so far.
+    pub fn drops(&self) -> u64 {
+        self.drops
+    }
+
+    /// Drops every queued entry (reboot path).
+    pub fn clear(&mut self) {
+        self.items.clear();
+        self.bytes = 0;
+    }
+
+    /// Iterate queued items front to back.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.items.iter().map(|(item, _)| item)
     }
 }
 
@@ -225,6 +338,11 @@ impl<T> RedQueue<T> {
     pub fn avg(&self) -> f64 {
         self.avg
     }
+
+    /// Iterate queued items front to back.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.fifo.iter()
+    }
 }
 
 #[cfg(test)]
@@ -241,6 +359,36 @@ mod tests {
         assert_eq!(q.pop(), Some(1));
         assert_eq!(q.pop(), Some(2));
         assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn fifo_byte_bound_tail_drops() {
+        let mut q = FifoQueue::with_byte_bound(10, 100);
+        assert_eq!(q.offer_weighed("a", 60), QueueOutcome::Enqueued);
+        assert_eq!(q.bytes(), 60);
+        assert_eq!(q.offer_weighed("b", 60), QueueOutcome::Dropped, "byte bound binds");
+        assert_eq!(q.drops(), 1);
+        assert_eq!(q.offer_weighed("c", 40), QueueOutcome::Enqueued);
+        assert_eq!(q.bytes(), 100);
+        assert_eq!(q.pop(), Some("a"));
+        assert_eq!(q.bytes(), 40, "pop releases the weight");
+    }
+
+    #[test]
+    fn bounded_deque_enforces_both_bounds() {
+        let mut q = BoundedDeque::new(2, 100);
+        assert!(q.push_back(1, 40));
+        assert!(q.push_back(2, 40));
+        assert!(!q.push_back(3, 1), "slot bound");
+        assert_eq!(q.pop_front(), Some(1));
+        assert!(!q.push_back(4, 70), "byte bound");
+        assert!(q.push_back(5, 60));
+        assert_eq!(q.drops(), 2);
+        assert_eq!(q.bytes(), 100);
+        assert_eq!(q.len(), 2);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.bytes(), 0);
     }
 
     #[test]

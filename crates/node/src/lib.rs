@@ -16,6 +16,7 @@
 pub mod adversary;
 pub mod app;
 pub mod fault;
+pub mod flood;
 pub mod route;
 pub mod stack;
 pub mod supervisor;
@@ -24,6 +25,7 @@ pub mod world;
 
 pub use adversary::{Adversary, AdversaryProfile, AdversaryStats, Delivery};
 pub use fault::{FaultEvent, FaultPlan};
+pub use flood::{FloodConfig, FloodStats, Flooder};
 pub use route::{RouteTable, Topology};
 pub use stack::{Node, NodeKind, TransportKind, TransportStack};
 pub use supervisor::{RecordAssembler, SupervisedConnection, SupervisorConfig, SupervisorStats};

@@ -12,14 +12,15 @@ use lln_coap::{CoapClient, CoapServer};
 use lln_energy::EnergyMeter;
 use lln_mac::csma::{MacConfig, TxProcess};
 use lln_mac::frame::MacFrame;
-use lln_netip::{Ecn, FifoQueue, Ipv6Addr, Ipv6Header, NodeId, RedConfig, RedQueue};
+use lln_netip::{BoundedDeque, Ecn, FifoQueue, Ipv6Addr, Ipv6Header, NodeId, RedConfig, RedQueue};
 use lln_phy::medium::TxHandle;
 use lln_sim::stats::Counters;
-use lln_sim::{EventToken, Instant};
-use lln_sixlowpan::Reassembler;
+use lln_sim::{Duration, EventToken, Instant};
+use lln_sixlowpan::{Reassembler, ReassemblyLimits};
 use lln_uip::UipSocket;
 use std::collections::{HashMap, HashSet, VecDeque};
-use tcplp::{ListenSocket, TcpSocket};
+use tcplp::mem::{IP_OVERHEAD_BYTES, MAC_FRAME_BYTES};
+use tcplp::{ListenSocket, MemClass, MemGovernor, NodeBudget, TcpSocket};
 
 /// Role of a node in the network.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -84,11 +85,20 @@ pub enum IpQueue {
 }
 
 impl IpQueue {
+    /// Byte weight a packet charges against the IP-queue budget.
+    fn weight(pkt: &OutPacket) -> usize {
+        pkt.payload.len() + IP_OVERHEAD_BYTES
+    }
+
     /// Offers a packet; RED may CE-mark the stored copy. Returns false
-    /// on drop.
+    /// on drop (tail drop on packets *or* bytes for FIFO; RED policy
+    /// for RED).
     pub fn offer(&mut self, pkt: OutPacket, rand01: f64) -> bool {
+        let w = Self::weight(&pkt);
         match self {
-            IpQueue::Fifo(q) => matches!(q.offer(pkt), lln_netip::QueueOutcome::Enqueued),
+            IpQueue::Fifo(q) => {
+                matches!(q.offer_weighed(pkt, w), lln_netip::QueueOutcome::Enqueued)
+            }
             IpQueue::Red(q) => {
                 let ecn = pkt.hdr.ecn;
                 !matches!(
@@ -127,6 +137,14 @@ impl IpQueue {
             IpQueue::Red(q) => q.drops(),
         }
     }
+
+    /// Bytes currently queued (headers included), for the node budget.
+    pub fn bytes(&self) -> usize {
+        match self {
+            IpQueue::Fifo(q) => q.bytes(),
+            IpQueue::Red(q) => q.iter().map(Self::weight).sum(),
+        }
+    }
 }
 
 /// The in-progress MAC transmission.
@@ -153,8 +171,9 @@ pub struct Node {
     pub mac_cfg: MacConfig,
 
     // --- MAC state ---
-    /// Control frames (data requests, indirect data) — priority queue.
-    pub ctrl_queue: VecDeque<MacFrame>,
+    /// Control frames (data requests, indirect data) — priority queue,
+    /// bounded in frames and bytes by the node budget.
+    pub ctrl_queue: BoundedDeque<MacFrame>,
     /// Frames of the packet currently being sent.
     pub cur_packet_frames: VecDeque<MacFrame>,
     /// The transmission in progress.
@@ -175,6 +194,9 @@ pub struct Node {
     /// Adversarial interposer on this node's inbound TCP path (torture
     /// suite; see [`crate::adversary`]).
     pub adversary: Option<crate::adversary::Adversary>,
+    /// Resource-exhaustion attacker injecting forged SYNs/fragments at
+    /// this node (overload suite; see [`crate::flood`]).
+    pub flooder: Option<crate::flood::Flooder>,
 
     // --- radio state ---
     /// Radio powered (sleepy leaves toggle this).
@@ -201,8 +223,8 @@ pub struct Node {
     // --- sleepy children (router side) ---
     /// Children that sleep; packets for them go to the indirect queue.
     pub sleepy_children: HashSet<NodeId>,
-    /// Indirect packet queue per sleepy child.
-    pub indirect: HashMap<NodeId, VecDeque<OutPacket>>,
+    /// Indirect packet queue per sleepy child, bounded per child.
+    pub indirect: HashMap<NodeId, BoundedDeque<OutPacket>>,
 
     // --- sleepy leaf state ---
     /// Poll scheduler (leaf).
@@ -235,11 +257,18 @@ pub struct Node {
     pub meter: EnergyMeter,
     /// Per-node counters (frames sent, drops, forwards...).
     pub counters: Counters,
+    /// The memory budget every bounded structure above derives from.
+    pub budget: NodeBudget,
+    /// Cross-layer memory governor: per-class gauges, high-water marks
+    /// and deny/evict counters (see [`Node::sync_governor`]).
+    pub governor: MemGovernor,
 }
 
 impl Node {
-    /// Creates a node with the given role.
+    /// Creates a node with the given role and the default memory
+    /// budget (use [`Node::apply_budget`] to change it before traffic).
     pub fn new(id: NodeId, kind: NodeKind, mac_cfg: MacConfig, now: Instant) -> Self {
+        let budget = NodeBudget::default();
         let awake = kind != NodeKind::SleepyLeaf;
         let mut meter = EnergyMeter::new(now);
         if awake && kind != NodeKind::CloudHost && kind != NodeKind::Interferer {
@@ -249,7 +278,7 @@ impl Node {
             id,
             kind,
             mac_cfg,
-            ctrl_queue: VecDeque::new(),
+            ctrl_queue: Self::ctrl_queue_for(&budget),
             cur_packet_frames: VecDeque::new(),
             cur_tx: None,
             // De-correlate sequence counters across nodes so overheard
@@ -259,12 +288,13 @@ impl Node {
             down: false,
             ber: None,
             adversary: None,
+            flooder: None,
             awake,
             listen_since: now,
             transmitting: false,
-            reassembler: Reassembler::default(),
+            reassembler: Self::reassembler_for(&budget),
             frag_tag: id.0,
-            ip_queue: IpQueue::Fifo(FifoQueue::new(24)),
+            ip_queue: Self::ip_queue_for(&budget),
             routes: RouteTable::new(),
             inject_loss: 0.0,
             sleepy_children: HashSet::new(),
@@ -281,12 +311,128 @@ impl Node {
             app: App::None,
             meter,
             counters: Counters::new(),
+            governor: MemGovernor::new(budget.clone()),
+            budget,
         }
+    }
+
+    /// The budget-derived control queue (frames + bytes bounded).
+    fn ctrl_queue_for(budget: &NodeBudget) -> BoundedDeque<MacFrame> {
+        BoundedDeque::new(budget.ctrl_queue_frames, budget.cap(MemClass::MacQueue))
+    }
+
+    /// The budget-derived FIFO IP queue (packets + bytes bounded).
+    fn ip_queue_for(budget: &NodeBudget) -> IpQueue {
+        IpQueue::Fifo(FifoQueue::with_byte_bound(
+            budget.ip_queue_packets,
+            budget.cap(MemClass::IpQueue),
+        ))
+    }
+
+    /// A budget-derived 6LoWPAN reassembler (quotas from the budget's
+    /// reassembly class).
+    pub fn reassembler_for(budget: &NodeBudget) -> Reassembler {
+        Reassembler::with_limits(ReassemblyLimits {
+            max_slots: budget.reassembly_slots,
+            per_source_slots: budget.reassembly_per_source,
+            max_bytes: budget.cap(MemClass::Reassembly),
+            timeout: Duration::from_secs(4),
+        })
+    }
+
+    /// Replaces the node's memory budget, rebuilding every bounded
+    /// structure derived from it. Call before traffic flows (queues
+    /// are reset empty).
+    pub fn apply_budget(&mut self, budget: NodeBudget) {
+        self.ctrl_queue = Self::ctrl_queue_for(&budget);
+        self.reassembler = Self::reassembler_for(&budget);
+        if matches!(self.ip_queue, IpQueue::Fifo(_)) {
+            self.ip_queue = Self::ip_queue_for(&budget);
+        }
+        self.indirect.clear();
+        self.governor = MemGovernor::new(budget.clone());
+        self.budget = budget;
     }
 
     /// Switches this node's IP queue to RED/ECN (Appendix A).
     pub fn use_red_queue(&mut self, cfg: RedConfig) {
         self.ip_queue = IpQueue::Red(RedQueue::new(cfg));
+    }
+
+    /// Appends a control frame, charging its bytes against the MAC
+    /// class; counts (and reports) a drop when the budget refuses.
+    pub fn enqueue_ctrl(&mut self, frame: MacFrame) -> bool {
+        let w = frame.payload.len() + MAC_FRAME_BYTES;
+        if self.ctrl_queue.push_back(frame, w) {
+            true
+        } else {
+            self.governor.note_deny(MemClass::MacQueue);
+            self.counters.inc("ctrl_queue_drops");
+            false
+        }
+    }
+
+    /// Appends a packet to a sleepy child's indirect queue, bounded by
+    /// the budget's per-child packet quota and the MAC byte class.
+    pub fn enqueue_indirect(&mut self, child: NodeId, pkt: OutPacket) -> bool {
+        let w = pkt.payload.len() + IP_OVERHEAD_BYTES;
+        let slots = self.budget.indirect_packets;
+        let cap = self.budget.cap(MemClass::MacQueue);
+        let q = self
+            .indirect
+            .entry(child)
+            .or_insert_with(|| BoundedDeque::new(slots, cap));
+        if q.push_back(pkt, w) {
+            true
+        } else {
+            self.governor.note_deny(MemClass::MacQueue);
+            self.counters.inc("indirect_drops");
+            false
+        }
+    }
+
+    /// Bytes currently accounted to `class` by walking the owning
+    /// structures (the governor's gauges are synced from this).
+    pub fn accounted_bytes(&self, class: MemClass) -> usize {
+        match class {
+            MemClass::TcpBuffers => self
+                .transport
+                .tcp
+                .iter()
+                .map(TcpSocket::mem_footprint)
+                .sum(),
+            MemClass::SynCache => self
+                .transport
+                .tcp_listener
+                .as_ref()
+                .map_or(0, ListenSocket::half_open_bytes),
+            MemClass::Reassembly => self.reassembler.pending_bytes(),
+            MemClass::IpQueue => self.ip_queue.bytes(),
+            MemClass::MacQueue => {
+                let cur: usize = self
+                    .cur_packet_frames
+                    .iter()
+                    .map(|f| f.payload.len() + MAC_FRAME_BYTES)
+                    .sum();
+                let ind: usize = self.indirect.values().map(BoundedDeque::bytes).sum();
+                self.ctrl_queue.bytes() + cur + ind
+            }
+            MemClass::CoapRetx => self
+                .transport
+                .coap_client
+                .as_ref()
+                .map_or(0, CoapClient::pending_bytes),
+        }
+    }
+
+    /// Recomputes every class gauge from the owning structures. Cheap
+    /// (sums over short queues); called by the world after any step
+    /// that can change occupancy, so high-water marks are exact.
+    pub fn sync_governor(&mut self) {
+        for class in MemClass::ALL {
+            let bytes = self.accounted_bytes(class);
+            self.governor.set_gauge(class, bytes);
+        }
     }
 
     /// The node's mesh-local address (cloud hosts use the cloud prefix).
@@ -384,8 +530,54 @@ mod tests {
     fn mac_idle_accounting() {
         let mut n = node(NodeKind::Router);
         assert!(n.mac_idle());
-        n.ctrl_queue.push_back(MacFrame::data(NodeId(3), NodeId(1), 0, vec![]));
+        assert!(n.enqueue_ctrl(MacFrame::data(NodeId(3), NodeId(1), 0, vec![])));
         assert!(!n.mac_idle());
+    }
+
+    #[test]
+    fn ctrl_queue_bounded_by_budget() {
+        let mut n = node(NodeKind::Router);
+        let frames = n.budget.ctrl_queue_frames;
+        for k in 0..frames {
+            assert!(
+                n.enqueue_ctrl(MacFrame::data(NodeId(3), NodeId(1), k as u8, vec![0; 8])),
+                "frame {k} fits"
+            );
+        }
+        assert!(!n.enqueue_ctrl(MacFrame::data(NodeId(3), NodeId(1), 0, vec![0; 8])));
+        assert_eq!(n.counters.get("ctrl_queue_drops"), 1);
+        assert_eq!(n.governor.denies(MemClass::MacQueue), 1);
+    }
+
+    #[test]
+    fn governor_gauges_track_structures() {
+        let mut n = node(NodeKind::Router);
+        n.sync_governor();
+        assert_eq!(n.governor.total_gauge(), 0, "idle node pins nothing");
+        let pkt = OutPacket {
+            hdr: Ipv6Header::new(
+                NodeId(3).mesh_addr(),
+                NodeId(1).mesh_addr(),
+                lln_netip::NextHeader::Tcp,
+                100,
+            ),
+            payload: vec![0; 100],
+            next_hop: NodeId(1),
+        };
+        assert!(n.ip_queue.offer(pkt, 0.5));
+        n.sync_governor();
+        assert_eq!(
+            n.governor.gauge(MemClass::IpQueue),
+            (100 + IP_OVERHEAD_BYTES) as u64
+        );
+        n.ip_queue.pop();
+        n.sync_governor();
+        assert_eq!(n.governor.gauge(MemClass::IpQueue), 0);
+        assert_eq!(
+            n.governor.high_water(MemClass::IpQueue),
+            (100 + IP_OVERHEAD_BYTES) as u64,
+            "high-water survives the drain"
+        );
     }
 
     #[test]

@@ -21,7 +21,7 @@ use lln_phy::{Medium, PhyConfig, RadioIdx};
 use lln_sim::{Duration, EventQueue, Instant, Rng};
 use lln_sixlowpan::{fragment, iphc};
 use std::collections::HashMap;
-use tcplp::{Segment, TcpConfig, TcpSocket};
+use tcplp::{ListenStats, ListenerResponse, MemClass, NodeBudget, Segment, TcpConfig, TcpSocket};
 
 /// CoAP's registered port.
 pub const COAP_PORT: u16 = 5683;
@@ -45,6 +45,9 @@ pub struct WorldConfig {
     pub cpu_per_segment: Duration,
     /// Listen window after a data-request poll (sleepy leaves).
     pub poll_window: Duration,
+    /// Per-node memory budget (TCP buffers, SYN cache, reassembly,
+    /// queues). Applied to every node at world construction.
+    pub budget: NodeBudget,
 }
 
 impl Default for WorldConfig {
@@ -57,6 +60,7 @@ impl Default for WorldConfig {
             cpu_per_frame: Duration::from_micros(800),
             cpu_per_segment: Duration::from_micros(600),
             poll_window: Duration::from_millis(100),
+            budget: NodeBudget::default(),
         }
     }
 }
@@ -109,6 +113,8 @@ pub enum Event {
     FaultBerStart(usize, f64, Duration),
     /// Fault: bit-error burst over.
     FaultBerEnd(usize),
+    /// Flooder tick: the attacker injects forged traffic at the node.
+    FloodTick(usize),
 }
 
 /// The simulation world.
@@ -143,7 +149,11 @@ impl World {
         let mut nodes: Vec<Node> = kinds
             .iter()
             .enumerate()
-            .map(|(i, &k)| Node::new(NodeId(i as u16), k, cfg.mac.clone(), now))
+            .map(|(i, &k)| {
+                let mut n = Node::new(NodeId(i as u16), k, cfg.mac.clone(), now);
+                n.apply_budget(cfg.budget.clone());
+                n
+            })
             .collect();
         let mut border = None;
         let mut cloud = None;
@@ -222,11 +232,17 @@ impl World {
     // Experiment setup helpers
     // ------------------------------------------------------------------
 
-    /// Installs a TCPlp listener on `server` (port 80).
+    /// Installs a TCPlp listener on `server` (port 80). The SYN cache
+    /// is sized from the node's memory budget.
     pub fn add_tcp_listener(&mut self, server: usize, cfg: TcpConfig) {
         let addr = self.nodes[server].ip_addr();
+        let scfg = tcplp::SynCacheConfig {
+            slots: self.nodes[server].budget.syn_cache_slots,
+            accept_backlog: self.nodes[server].budget.accept_backlog,
+            ..tcplp::SynCacheConfig::default()
+        };
         self.nodes[server].transport.tcp_listener =
-            Some(tcplp::ListenSocket::new(cfg, addr, TCP_PORT));
+            Some(tcplp::ListenSocket::with_syn_cache(cfg, addr, TCP_PORT, scfg));
         self.nodes[server].transport_kind = TransportKind::Tcplp;
     }
 
@@ -387,6 +403,23 @@ impl World {
         self.nodes[node].adversary.as_ref().map(|a| a.stats)
     }
 
+    /// Attaches a resource-exhaustion flooder to `node` (overload
+    /// suite). Forged traffic lands directly at the victim's transport
+    /// and adaptation inputs, modelling an attacker one hop upstream.
+    /// The flooder gets its own forked RNG stream, so a fixed seed
+    /// replays the attack bit-identically.
+    pub fn attach_flood(&mut self, node: usize, cfg: crate::flood::FloodConfig) {
+        let rng = self.rng.fork(0xF100_0D00 + node as u64);
+        let start = cfg.start;
+        self.nodes[node].flooder = Some(crate::flood::Flooder::new(cfg, rng));
+        self.queue.schedule(start, Event::FloodTick(node));
+    }
+
+    /// The flooder's counters on `node`, if one is attached.
+    pub fn flood_stats(&self, node: usize) -> Option<crate::flood::FloodStats> {
+        self.nodes[node].flooder.as_ref().map(|f| f.stats)
+    }
+
     /// Configures the anemometer app on `node`, readings starting at
     /// `start`.
     pub fn set_anemometer(
@@ -486,6 +519,7 @@ impl World {
             Event::FaultBerEnd(i) => {
                 self.nodes[i].ber = None;
             }
+            Event::FloodTick(i) => self.on_flood_tick(i, now),
         }
     }
 
@@ -603,7 +637,7 @@ impl World {
             n.ctrl_queue.clear();
             n.cur_packet_frames.clear();
             while n.ip_queue.pop().is_some() {}
-            n.reassembler = lln_sixlowpan::Reassembler::default();
+            n.reassembler = Node::reassembler_for(&n.budget);
             n.last_rx_seq.clear();
             n.indirect.clear();
             n.polling = false;
@@ -614,6 +648,7 @@ impl World {
             // with the radio accounted as asleep while down.
             n.meter.set_radio_state(RadioState::Sleep, now);
         }
+        self.sync_governor(i);
         self.trace.record(
             now,
             self.nodes[i].id,
@@ -1223,9 +1258,8 @@ impl World {
         };
         let seq = self.nodes[i].next_seq();
         let id = self.nodes[i].id;
-        self.nodes[i]
-            .ctrl_queue
-            .push_back(MacFrame::data_request(id, parent, seq));
+        let req = MacFrame::data_request(id, parent, seq);
+        self.nodes[i].enqueue_ctrl(req);
         // Guard window in case the poll exchange stalls entirely.
         self.extend_poll_window(i, now);
         self.kick_mac(i, now);
@@ -1245,7 +1279,10 @@ impl World {
         let Some(queue) = self.nodes[i].indirect.get_mut(&child) else {
             return;
         };
-        let packets: Vec<OutPacket> = queue.drain(..).collect();
+        let mut packets: Vec<OutPacket> = Vec::new();
+        while let Some(pkt) = queue.pop_front() {
+            packets.push(pkt);
+        }
         if packets.is_empty() {
             return;
         }
@@ -1258,9 +1295,10 @@ impl World {
                 let seq = self.nodes[i].next_seq();
                 let mut f = MacFrame::data(src_l2, child, seq, frag.bytes);
                 f.pending = k < last;
-                self.nodes[i].ctrl_queue.push_back(f);
+                self.nodes[i].enqueue_ctrl(f);
             }
         }
+        self.sync_governor(i);
         self.kick_mac(i, now);
     }
 
@@ -1310,20 +1348,27 @@ impl World {
             payload,
             next_hop,
         };
-        // Indirect queueing for sleepy children.
+        // Indirect queueing for sleepy children (bounded per child by
+        // the node budget).
         if self.nodes[i].sleepy_children.contains(&next_hop) {
-            let q = self.nodes[i].indirect.entry(next_hop).or_default();
-            if q.len() >= 16 {
-                self.nodes[i].counters.inc("indirect_drops");
-            } else {
-                q.push_back(pkt);
-            }
+            self.nodes[i].enqueue_indirect(next_hop, pkt);
+            self.sync_governor(i);
+            return;
+        }
+        // Governor admission: the IP-queue class must have room for
+        // the packet's bytes before the queue even sees it.
+        let w = pkt.payload.len() + tcplp::mem::IP_OVERHEAD_BYTES;
+        if !self.nodes[i].governor.would_fit(MemClass::IpQueue, w) {
+            self.nodes[i].governor.note_deny(MemClass::IpQueue);
+            self.nodes[i].counters.inc("queue_byte_drops");
             return;
         }
         let r = self.rng.gen_f64();
         if !self.nodes[i].ip_queue.offer(pkt, r) {
+            self.nodes[i].governor.note_deny(MemClass::IpQueue);
             self.nodes[i].counters.inc("queue_drops");
         }
+        self.sync_governor(i);
         self.kick_mac(i, now);
     }
 
@@ -1467,18 +1512,88 @@ impl World {
             sock.on_segment(&seg, ecn, now);
             return;
         }
-        // Listener?
-        let accepted = self.nodes[i].transport.tcp_listener.as_ref().and_then(|l| {
-            if l.port() == seg.dst_port {
-                let iss = self.rng.next_u64() as u32;
-                l.on_segment(hdr.src, &seg, iss, now)
-            } else {
-                None
+        // Listener? All passive-open traffic goes through the bounded
+        // SYN cache; the full socket exists only after the completing
+        // ACK — and only if the TCP-buffer budget admits it.
+        let listener_match = self.nodes[i]
+            .transport
+            .tcp_listener
+            .as_ref()
+            .is_some_and(|l| l.port() == seg.dst_port);
+        if listener_match {
+            let is_syn =
+                seg.flags.contains(tcplp::Flags::SYN) && !seg.flags.contains(tcplp::Flags::ACK);
+            // The iss is consumed only when a fresh SYN parks a cache
+            // entry; drawing it unconditionally would burn an extra rng
+            // value on the completing ACK and shift every later seeded
+            // decision (loss, RED) in the world.
+            let iss = if is_syn { self.rng.next_u64() as u32 } else { 0 };
+            let live = self.nodes[i]
+                .transport
+                .tcp
+                .iter()
+                .filter(|s| {
+                    s.local().1 == seg.dst_port && s.state() != tcplp::TcpState::Closed
+                })
+                .count();
+            let footprint = self.nodes[i]
+                .transport
+                .tcp_listener
+                .as_ref()
+                .map_or(0, |l| l.child_footprint());
+            // A SYN whose eventual socket could never fit the budget is
+            // denied before it costs even a cache slot.
+            if is_syn && !self.nodes[i].governor.would_fit(MemClass::TcpBuffers, footprint) {
+                self.nodes[i].governor.note_deny(MemClass::TcpBuffers);
+                self.nodes[i].counters.inc("syn_budget_drops");
+                return;
             }
-        });
-        if let Some(sock) = accepted {
-            self.nodes[i].transport.tcp.push(sock);
-            return;
+            let before = self.nodes[i]
+                .transport
+                .tcp_listener
+                .as_ref()
+                .map(|l| l.stats.clone())
+                .unwrap_or_default();
+            let l = self.nodes[i].transport.tcp_listener.as_mut().unwrap();
+            l.sync_backlog(live);
+            let resp = l.on_segment(hdr.src, &seg, iss, now);
+            self.mirror_listener_stats(i, &before);
+            match resp {
+                ListenerResponse::Reply(reply) => {
+                    let my_addr = self.nodes[i].ip_addr();
+                    let out_hdr = Ipv6Header::new(
+                        my_addr,
+                        hdr.src,
+                        NextHeader::Tcp,
+                        reply.wire_len() as u16,
+                    );
+                    let bytes = reply.encode(my_addr, hdr.src);
+                    self.enqueue_ip(i, out_hdr, bytes, now);
+                    self.sync_governor(i);
+                    self.reschedule_transport_timer(i, now);
+                    return;
+                }
+                ListenerResponse::Spawn(sock) => {
+                    if self.nodes[i].governor.try_admit(MemClass::TcpBuffers, footprint) {
+                        self.nodes[i].transport.tcp.push(*sock);
+                        self.pump_transport(i, now);
+                    } else {
+                        // Budget raced shut between SYN and ACK: the
+                        // socket dies unborn; the peer retries or
+                        // times out.
+                        self.nodes[i].counters.inc("accept_budget_drops");
+                    }
+                    self.sync_governor(i);
+                    self.reschedule_transport_timer(i, now);
+                    return;
+                }
+                // Not listener business (stray ACK, RST): fall through
+                // to the uIP socket or the RST generator.
+                ListenerResponse::None => {
+                    self.sync_governor(i);
+                    self.reschedule_transport_timer(i, now);
+                }
+            }
         }
         // uIP socket?
         if let Some(u) = self.nodes[i].transport.uip.as_mut() {
@@ -1499,6 +1614,65 @@ impl World {
             let bytes = rst.encode(hdr.dst, hdr.src);
             self.enqueue_ip(i, out_hdr, bytes, now);
         }
+    }
+
+    /// One flooder tick: inject forged traffic at node `i`, then
+    /// reschedule. Ticks keep firing (without injecting) while the
+    /// victim is down, so the attack resumes after a reboot.
+    fn on_flood_tick(&mut self, i: usize, now: Instant) {
+        let Some(mut fl) = self.nodes[i].flooder.take() else {
+            return;
+        };
+        if now >= fl.cfg.stop {
+            self.nodes[i].flooder = Some(fl);
+            return;
+        }
+        let interval = fl.interval();
+        if !self.nodes[i].down {
+            if fl.cfg.syn {
+                // Forged SYN from a rotating spoofed source: random
+                // port and ISN, victim's listen port.
+                let k = (fl.stats.syns_sent % u64::from(fl.cfg.spoofed_sources)) as u16;
+                let src = NodeId(0xF000 + k).mesh_addr();
+                let sport = 40_000 + (fl.rng.next_u64() % 20_000) as u16;
+                let seq = tcplp::TcpSeq(fl.rng.next_u64() as u32);
+                let mut seg = Segment::new(
+                    sport,
+                    fl.cfg.target_port,
+                    seq,
+                    tcplp::TcpSeq(0),
+                    tcplp::Flags::SYN,
+                );
+                seg.window = 1024;
+                seg.mss = Some(462);
+                let hdr = Ipv6Header::new(
+                    src,
+                    self.nodes[i].ip_addr(),
+                    NextHeader::Tcp,
+                    seg.wire_len() as u16,
+                );
+                fl.stats.syns_sent += 1;
+                self.nodes[i].meter.add_cpu(self.cfg.cpu_per_segment);
+                self.nodes[i].counters.inc("flood_syns_rx");
+                self.dispatch_tcp_segment(i, &hdr, &seg, now);
+            }
+            if fl.cfg.frag {
+                // Forged FRAG1 claiming a large datagram whose tail
+                // never arrives: pins a reassembly slot until quota
+                // denial or timeout reclamation.
+                let k = (fl.stats.frags_sent % u64::from(fl.cfg.spoofed_sources)) as u16;
+                let src = NodeId(0xF800 + k);
+                let bytes = fl.forge_frag1(64);
+                fl.stats.frags_sent += 1;
+                self.nodes[i].meter.add_cpu(self.cfg.cpu_per_frame);
+                self.nodes[i].counters.inc("flood_frags_rx");
+                let _ = self.nodes[i].reassembler.offer(src, &bytes, now);
+                self.sync_governor(i);
+                self.reschedule_transport_timer(i, now);
+            }
+        }
+        self.nodes[i].flooder = Some(fl);
+        self.queue.schedule(now + interval, Event::FloodTick(i));
     }
 
     fn deliver_udp(&mut self, i: usize, hdr: &Ipv6Header, payload: &[u8], now: Instant) {
@@ -1570,6 +1744,25 @@ impl World {
                 out.push((hdr, bytes));
             }
         }
+        // Listener: SYN-ACK retransmissions and half-open expiry.
+        let listen_before = self.nodes[i]
+            .transport
+            .tcp_listener
+            .as_ref()
+            .map(|l| l.stats.clone());
+        if let Some(l) = self.nodes[i].transport.tcp_listener.as_mut() {
+            while let Some((peer, synack)) = l.poll_transmit(now) {
+                let hdr =
+                    Ipv6Header::new(my_addr, peer, NextHeader::Tcp, synack.wire_len() as u16);
+                let bytes = synack.encode(my_addr, peer);
+                out.push((hdr, bytes));
+            }
+        }
+        if let Some(before) = listen_before {
+            self.mirror_listener_stats(i, &before);
+        }
+        // Reassembly: reclaim stale partial datagrams on the timer path.
+        self.nodes[i].reassembler.reclaim(now);
         // uIP socket.
         if let Some(u) = self.nodes[i].transport.uip.as_mut() {
             if u.poll_at().is_some_and(|t| t <= now) {
@@ -1609,6 +1802,7 @@ impl World {
         for (hdr, bytes) in out {
             self.enqueue_ip(i, hdr, bytes, now);
         }
+        self.sync_governor(i);
         self.reschedule_transport_timer(i, now);
         self.kick_mac(i, now);
         // Sleepy leaves expecting a response poll fast (§9.2).
@@ -1667,6 +1861,104 @@ impl World {
         self.nodes[i].supervisor = Some(sup);
     }
 
+    /// Recomputes node `i`'s governor gauges from the owning structures
+    /// and mirrors the reassembler's cumulative deny/timeout counters
+    /// into the governor's per-class accounting.
+    fn sync_governor(&mut self, i: usize) {
+        let n = &mut self.nodes[i];
+        let denied = n.reassembler.denied_slots + n.reassembler.denied_bytes;
+        let seen = n.governor.denies(MemClass::Reassembly);
+        if denied > seen {
+            n.governor.note_denies(MemClass::Reassembly, denied - seen);
+        }
+        let evicted = n.reassembler.timeouts + n.reassembler.evicted_source;
+        let seen = n.governor.evictions(MemClass::Reassembly);
+        if evicted > seen {
+            n.governor.note_evictions(MemClass::Reassembly, evicted - seen);
+        }
+        n.sync_governor();
+    }
+
+    /// Mirrors listener stat deltas (since `before`) into the governor's
+    /// SYN-cache accounting and the node counters.
+    fn mirror_listener_stats(&mut self, i: usize, before: &ListenStats) {
+        let Some(after) = self.nodes[i].transport.tcp_listener.as_ref().map(|l| l.stats.clone())
+        else {
+            return;
+        };
+        let n = &mut self.nodes[i];
+        n.governor
+            .note_denies(MemClass::SynCache, after.backlog_denied - before.backlog_denied);
+        n.governor.note_evictions(
+            MemClass::SynCache,
+            (after.evicted_oldest - before.evicted_oldest) + (after.expired - before.expired),
+        );
+        n.counters.add("syns_rcvd", after.syns_rcvd - before.syns_rcvd);
+        n.counters.add("syn_dups", after.syn_dups - before.syn_dups);
+        n.counters.add("tcp_accepts", after.spawned - before.spawned);
+    }
+
+    /// Read access to node `i`'s memory governor (tests, benches).
+    pub fn governor(&self, i: usize) -> &tcplp::MemGovernor {
+        &self.nodes[i].governor
+    }
+
+    /// Asserts every node's transient memory classes have drained to
+    /// zero and no class ever exceeded its cap. Call after a run whose
+    /// traffic has fully quiesced (bulk transfers done, floods over,
+    /// timers past). Leaks in the SYN cache, reassembly slots, or
+    /// queues show up here as a non-zero gauge.
+    pub fn assert_governor_drained(&mut self) {
+        let now = self.now();
+        for i in 0..self.nodes.len() {
+            self.nodes[i].reassembler.reclaim(now + Duration::from_secs(60));
+            self.sync_governor(i);
+            let n = &self.nodes[i];
+            for class in [
+                MemClass::SynCache,
+                MemClass::Reassembly,
+                MemClass::IpQueue,
+                MemClass::MacQueue,
+            ] {
+                assert_eq!(
+                    n.governor.gauge(class),
+                    0,
+                    "node {i}: {class:?} leaked {} bytes after quiesce",
+                    n.governor.gauge(class)
+                );
+            }
+            self.assert_node_bounded(i);
+        }
+    }
+
+    /// Asserts every node's accounted memory stayed within its per-class
+    /// caps and the total budget. Safe to call mid-run (continuous
+    /// applications never fully drain).
+    pub fn assert_governor_bounded(&mut self) {
+        for i in 0..self.nodes.len() {
+            self.sync_governor(i);
+            self.assert_node_bounded(i);
+        }
+    }
+
+    fn assert_node_bounded(&self, i: usize) {
+        let n = &self.nodes[i];
+        for class in MemClass::ALL {
+            assert!(
+                n.governor.high_water(class) <= n.budget.cap(class) as u64,
+                "node {i}: {class:?} high-water {} exceeds cap {}",
+                n.governor.high_water(class),
+                n.budget.cap(class)
+            );
+        }
+        assert!(
+            n.governor.total_high_water() <= n.budget.total as u64,
+            "node {i}: total high-water {} exceeds budget {}",
+            n.governor.total_high_water(),
+            n.budget.total
+        );
+    }
+
     fn adjust_fast_poll(&mut self, i: usize, now: Instant) {
         if self.nodes[i].kind != NodeKind::SleepyLeaf || self.nodes[i].awake {
             return;
@@ -1708,6 +2000,16 @@ impl World {
                 next = Some(next.map_or(t, |cur: Instant| cur.min(t)));
             }
         }
+        if let Some(l) = &self.nodes[i].transport.tcp_listener {
+            if let Some(t) = l.poll_at() {
+                next = Some(next.map_or(t, |cur: Instant| cur.min(t)));
+            }
+        }
+        // Reassembly expiry is deliberately NOT a wakeup source: stale
+        // partials are reclaimed lazily on the next inbound frame
+        // (`Reassembler::offer` expires first) and on every transport
+        // pump, which keeps the event schedule — and hence seeded
+        // trajectories — identical to a build without the reassembler.
         if let Some(tok) = self.nodes[i].transport_timer.take() {
             self.queue.cancel(tok);
         }

@@ -79,6 +79,9 @@ fn run_chain_chaos(seed: u64) -> World {
         );
     world.apply_fault_plan(&plan);
     world.run_for(Duration::from_secs(240));
+    // The supervised connection stays live past the horizon, so assert
+    // budget caps (no class ever over cap) rather than full drain.
+    world.assert_governor_bounded();
     world
 }
 
@@ -201,6 +204,7 @@ fn anemometer_survives_client_reboot_and_bit_errors() {
         .bit_error_burst(1, Instant::from_secs(60), Duration::from_secs(8), 2e-3);
     world.apply_fault_plan(&plan);
     world.run_for(Duration::from_secs(120));
+    world.assert_governor_bounded();
 
     // The leaf rebooted; the supervisor noticed the wiped socket and
     // reconnected.
@@ -277,6 +281,7 @@ fn route_flap_reparents_and_transfer_completes() {
     let parent_before = world.nodes[3].routes.default_route;
     world.apply_fault_plan(&FaultPlan::new().route_flap(3, Instant::from_secs(5)));
     world.run_for(Duration::from_secs(120));
+    world.assert_governor_bounded();
 
     assert_eq!(world.nodes[3].counters.get("route_flaps"), 1);
     let parent_after = world.nodes[3].routes.default_route;

@@ -20,6 +20,9 @@ fn run_bulk(world: &mut World, src: usize, dst: usize, bytes: u64, span: Duratio
     world.add_tcp_client(src, dst, tcp_cfg(), Instant::from_millis(10));
     world.set_bulk_sender(src, Some(bytes));
     world.run_for(span);
+    // No-leak invariant: once the transfer quiesces, every transient
+    // memory class must return to zero and never have exceeded its cap.
+    world.assert_governor_drained();
     world.nodes[dst].app.sink_goodput_bps()
 }
 
@@ -100,6 +103,7 @@ fn leaf_to_cloud_over_border_router() {
     world.add_tcp_client(3, 0, tcp_cfg(), Instant::from_millis(10));
     world.set_bulk_sender(3, Some(30_000));
     world.run_for(Duration::from_secs(60));
+    world.assert_governor_drained();
     assert_eq!(
         world.nodes[0].app.sink_received(),
         30_000,
@@ -127,6 +131,9 @@ fn sleepy_leaf_tcp_roundtrip() {
     world.add_tcp_client(2, 0, tcp_cfg(), Instant::from_millis(100));
     world.set_bulk_sender(2, Some(10_000));
     world.run_for(Duration::from_secs(120));
+    // Indirect (sleepy-child) queues may legitimately hold a packet
+    // awaiting the next poll at the horizon, so assert caps only.
+    world.assert_governor_bounded();
     assert_eq!(
         world.nodes[0].app.sink_received(),
         10_000,
@@ -166,6 +173,8 @@ fn anemometer_over_coap_delivers_readings() {
     );
     world.set_anemometer(3, 104, None, Instant::from_secs(1));
     world.run_for(Duration::from_secs(60));
+    // The anemometer keeps generating at the horizon: assert caps only.
+    world.assert_governor_bounded();
     let server = world.nodes[0].transport.coap_server.as_ref().unwrap();
     let delivered = server.received_count();
     let App::Anemometer(app) = &world.nodes[3].app else {

@@ -101,31 +101,87 @@ impl PartialDatagram {
     }
 }
 
-/// Per-neighbour reassembly buffers with timeout.
+/// Fixed overhead charged per reassembly slot on top of the datagram
+/// buffer (bitmap, bookkeeping) — mirrors `tcplp::mem::REASM_SLOT_BYTES`
+/// without taking a dependency on the TCP crate.
+const SLOT_OVERHEAD_BYTES: usize = 64;
+
+/// Bounds on the reassembler, defending against fragment floods
+/// (Hummen et al.'s 6LoWPAN fragmentation attacks): a flood of FRAG1s
+/// claiming large datagrams would otherwise pin unbounded buffer
+/// memory for a full timeout each.
+#[derive(Clone, Copy, Debug)]
+pub struct ReassemblyLimits {
+    /// Total concurrent partial datagrams.
+    pub max_slots: usize,
+    /// Concurrent partial datagrams per source — one chatty (or
+    /// spoofed) neighbour cannot monopolise the table.
+    pub per_source_slots: usize,
+    /// Total buffered bytes across all partials (claimed datagram
+    /// sizes + per-slot overhead).
+    pub max_bytes: usize,
+    /// Partial datagrams expire after this long (RFC 4944 suggests up
+    /// to 60 s; LLN stacks use a few seconds).
+    pub timeout: Duration,
+}
+
+impl Default for ReassemblyLimits {
+    fn default() -> Self {
+        ReassemblyLimits {
+            max_slots: 8,
+            per_source_slots: 2,
+            max_bytes: 8 * 1024,
+            timeout: Duration::from_secs(4),
+        }
+    }
+}
+
+/// Per-neighbour reassembly buffers with timeout-based reclamation and
+/// per-source/total slot and byte quotas.
 #[derive(Clone, Debug)]
 pub struct Reassembler {
     partials: Vec<PartialDatagram>,
-    timeout: Duration,
+    limits: ReassemblyLimits,
     /// Datagrams abandoned due to timeout (one lost frame kills the
     /// whole packet — the §6.1 reliability cost of a large MSS).
     pub timeouts: u64,
+    /// New datagrams refused because the slot table was full.
+    pub denied_slots: u64,
+    /// Same-source partials evicted by the per-source quota
+    /// (last-write-wins: a fresh datagram replaces the source's oldest
+    /// partial rather than being refused, so one lost fragment never
+    /// blocks the source's subsequent traffic until timeout).
+    pub evicted_source: u64,
+    /// New datagrams refused by the byte budget.
+    pub denied_bytes: u64,
 }
 
 impl Default for Reassembler {
     fn default() -> Self {
-        Self::new(Duration::from_secs(4))
+        Self::with_limits(ReassemblyLimits::default())
     }
 }
 
 impl Reassembler {
     /// Creates a reassembler whose partial datagrams expire after
-    /// `timeout` (RFC 4944 suggests up to 60 s; LLN stacks use a few
-    /// seconds).
+    /// `timeout`, with default quotas.
     pub fn new(timeout: Duration) -> Self {
+        Self::with_limits(ReassemblyLimits {
+            timeout,
+            ..ReassemblyLimits::default()
+        })
+    }
+
+    /// Creates a reassembler with explicit quotas.
+    pub fn with_limits(limits: ReassemblyLimits) -> Self {
+        assert!(limits.max_slots > 0 && limits.per_source_slots > 0);
         Reassembler {
             partials: Vec::new(),
-            timeout,
+            limits,
             timeouts: 0,
+            denied_slots: 0,
+            evicted_source: 0,
+            denied_bytes: 0,
         }
     }
 
@@ -163,6 +219,33 @@ impl Reassembler {
         {
             Some(i) => i,
             None => {
+                // Admission control for a fresh slot. A source at its
+                // quota recycles its own oldest partial (last-write-
+                // wins): the bound on slots it can pin is unchanged,
+                // but a datagram that died mid-flight cannot block the
+                // source's later traffic until the timeout fires.
+                // Eviction is strictly same-source — traffic from one
+                // neighbour can never push out another's partials.
+                let from_src = self.partials.iter().filter(|p| p.src == src).count();
+                if from_src >= self.limits.per_source_slots {
+                    let oldest = self
+                        .partials
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, p)| p.src == src)
+                        .min_by_key(|(_, p)| p.started)
+                        .map(|(i, _)| i)
+                        .expect("quota reached implies partials from src");
+                    self.partials.remove(oldest);
+                    self.evicted_source += 1;
+                } else if self.partials.len() >= self.limits.max_slots {
+                    self.denied_slots += 1;
+                    return None;
+                }
+                if self.pending_bytes() + size + SLOT_OVERHEAD_BYTES > self.limits.max_bytes {
+                    self.denied_bytes += 1;
+                    return None;
+                }
                 self.partials.push(PartialDatagram {
                     src,
                     tag,
@@ -192,16 +275,41 @@ impl Reassembler {
     }
 
     fn expire(&mut self, now: Instant) {
-        let timeout = self.timeout;
+        let timeout = self.limits.timeout;
         let before = self.partials.len();
         self.partials
             .retain(|p| now.saturating_duration_since(p.started) < timeout);
         self.timeouts += (before - self.partials.len()) as u64;
     }
 
+    /// Timeout-based reclamation, callable without offering a frame —
+    /// idle nodes sweep stale slots from a timer so a one-shot flood
+    /// cannot pin buffers until the next genuine reception.
+    pub fn reclaim(&mut self, now: Instant) {
+        self.expire(now);
+    }
+
     /// Number of incomplete datagrams held.
     pub fn pending(&self) -> usize {
         self.partials.len()
+    }
+
+    /// Bytes currently pinned by incomplete datagrams (claimed sizes
+    /// plus per-slot overhead) — what the node budget charges.
+    pub fn pending_bytes(&self) -> usize {
+        self.partials
+            .iter()
+            .map(|p| p.size + SLOT_OVERHEAD_BYTES)
+            .sum()
+    }
+
+    /// The earliest instant at which a held partial expires, for
+    /// scheduling a [`Reassembler::reclaim`] sweep.
+    pub fn next_expiry(&self) -> Option<Instant> {
+        self.partials
+            .iter()
+            .map(|p| p.started + self.limits.timeout)
+            .min()
     }
 }
 
@@ -321,6 +429,152 @@ mod tests {
         bad.extend_from_slice(&[0u8; 24]);
         assert!(r.offer(NodeId(1), &bad, Instant::ZERO).is_none());
         assert_eq!(r.pending(), 0);
+    }
+
+    #[test]
+    fn per_source_quota_recycles_oldest_same_source_partial() {
+        let limits = ReassemblyLimits {
+            per_source_slots: 2,
+            ..ReassemblyLimits::default()
+        };
+        let mut r = Reassembler::with_limits(limits);
+        // Three incomplete datagrams from the same source (distinct
+        // tags): the third FRAG1 evicts the source's oldest partial
+        // (tag 0) — the source never pins more than its quota, but a
+        // dead datagram cannot block later traffic until timeout.
+        for tag in 0..3u16 {
+            let frags = fragment(&pkt(300), tag, 104);
+            let t = Instant::from_millis(u64::from(tag));
+            r.offer(NodeId(7), &frags[0].bytes, t);
+        }
+        assert_eq!(r.pending(), 2);
+        assert_eq!(r.evicted_source, 1);
+        // Another source is unaffected by node 7's appetite.
+        let other = fragment(&pkt(300), 9, 104);
+        r.offer(NodeId(8), &other[0].bytes, Instant::from_millis(3));
+        assert_eq!(r.pending(), 3);
+        // The evicted datagram (tag 0) can no longer complete: its
+        // remaining fragments re-admit it as a fresh partial instead,
+        // recycling the now-oldest tag 1.
+        let frags = fragment(&pkt(300), 0, 104);
+        let mut done = None;
+        for f in &frags[1..] {
+            done = r
+                .offer(NodeId(7), &f.bytes, Instant::from_millis(4))
+                .or(done);
+        }
+        assert!(done.is_none(), "evicted partial lost its FRAG1");
+        // A surviving admitted datagram (tag 2) still completes.
+        let frags = fragment(&pkt(300), 2, 104);
+        let mut done = None;
+        for f in &frags[1..] {
+            done = r
+                .offer(NodeId(7), &f.bytes, Instant::from_millis(5))
+                .or(done);
+        }
+        assert_eq!(done.expect("admitted datagram completes"), pkt(300));
+    }
+
+    #[test]
+    fn slot_and_byte_caps_bound_a_fragment_flood() {
+        let limits = ReassemblyLimits {
+            max_slots: 4,
+            per_source_slots: 4,
+            max_bytes: 900,
+            ..ReassemblyLimits::default()
+        };
+        let mut r = Reassembler::with_limits(limits);
+        // Flood FRAG1s from many spoofed sources, each claiming a
+        // 400-byte datagram (400 + 64 overhead per slot).
+        for s in 0..20u16 {
+            let frags = fragment(&pkt(400), s, 104);
+            r.offer(NodeId(100 + s), &frags[0].bytes, Instant::ZERO);
+        }
+        // Byte budget admits only one 464-byte slot (two would need 928).
+        assert_eq!(r.pending(), 1);
+        assert!(r.pending_bytes() <= 900, "bytes: {}", r.pending_bytes());
+        assert_eq!(r.denied_bytes, 19);
+        assert_eq!(r.denied_slots, 0, "byte cap bound first here");
+    }
+
+    #[test]
+    fn reclaim_sweeps_stale_slots_without_traffic() {
+        let mut r = Reassembler::new(Duration::from_secs(2));
+        let frags = fragment(&pkt(300), 5, 104);
+        r.offer(NodeId(3), &frags[0].bytes, Instant::ZERO);
+        assert_eq!(r.pending(), 1);
+        assert!(r.pending_bytes() > 0);
+        assert_eq!(
+            r.next_expiry(),
+            Some(Instant::ZERO + Duration::from_secs(2))
+        );
+        // An idle sweep before the deadline keeps the slot...
+        r.reclaim(Instant::from_secs(1));
+        assert_eq!(r.pending(), 1);
+        // ...and one after it reclaims slot, bytes, and schedule.
+        r.reclaim(Instant::from_secs(3));
+        assert_eq!(r.pending(), 0);
+        assert_eq!(r.pending_bytes(), 0);
+        assert_eq!(r.timeouts, 1);
+        assert_eq!(r.next_expiry(), None);
+    }
+
+    #[test]
+    fn datagram_tag_wraparound_keeps_streams_separate() {
+        // Tags 0xFFFF and 0x0000 from the same source are adjacent on
+        // the wrapping tag circle but must reassemble independently.
+        let pa = pkt(200);
+        let pb: Vec<u8> = pkt(200).iter().map(|b| b ^ 0x55).collect();
+        let fa = fragment(&pa, 0xFFFF, 104);
+        let fb = fragment(&pb, 0x0000, 104);
+        let mut r = Reassembler::default();
+        let mut da = None;
+        let mut db = None;
+        for (a, b) in fa.iter().zip(fb.iter()) {
+            da = r.offer(NodeId(4), &a.bytes, Instant::ZERO).or(da);
+            db = r.offer(NodeId(4), &b.bytes, Instant::ZERO).or(db);
+        }
+        assert_eq!(da.unwrap(), pa);
+        assert_eq!(db.unwrap(), pb);
+        assert_eq!(r.pending(), 0);
+        // A tag reused after wraparound starts a *fresh* datagram
+        // rather than resurrecting the completed one.
+        let again = fragment(&pa, 0xFFFF, 104);
+        assert!(r.offer(NodeId(4), &again[0].bytes, Instant::ZERO).is_none());
+        assert_eq!(r.pending(), 1);
+    }
+
+    #[test]
+    fn interleaved_sources_complete_within_quotas() {
+        // Four sources interleave, all within per-source quota: every
+        // datagram completes and the table drains to zero.
+        let limits = ReassemblyLimits {
+            max_slots: 4,
+            per_source_slots: 1,
+            ..ReassemblyLimits::default()
+        };
+        let mut r = Reassembler::with_limits(limits);
+        let payloads: Vec<Vec<u8>> = (0..4u8).map(|i| pkt(250 + usize::from(i))).collect();
+        let frag_sets: Vec<Vec<Fragment>> = payloads
+            .iter()
+            .enumerate()
+            .map(|(i, p)| fragment(p, i as u16, 104))
+            .collect();
+        let mut done = vec![None; 4];
+        let rounds = frag_sets.iter().map(|f| f.len()).max().unwrap();
+        for round in 0..rounds {
+            for (s, frags) in frag_sets.iter().enumerate() {
+                if let Some(f) = frags.get(round) {
+                    let out = r.offer(NodeId(10 + s as u16), &f.bytes, Instant::ZERO);
+                    done[s] = out.or(done[s].take());
+                }
+            }
+        }
+        for (s, p) in payloads.iter().enumerate() {
+            assert_eq!(done[s].as_ref().unwrap(), p, "source {s}");
+        }
+        assert_eq!(r.pending(), 0);
+        assert_eq!(r.evicted_source + r.denied_slots + r.denied_bytes, 0);
     }
 
     #[test]

@@ -20,7 +20,7 @@
 pub mod frag;
 pub mod iphc;
 
-pub use frag::{fragment, Fragment, Reassembler};
+pub use frag::{fragment, Fragment, Reassembler, ReassemblyLimits};
 pub use iphc::{compress, decompress};
 
 /// Maximum 802.15.4 MAC payload available to 6LoWPAN with the paper's

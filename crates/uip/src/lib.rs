@@ -458,16 +458,21 @@ mod tests {
         let a_addr = NodeId(1).mesh_addr();
         let b_addr = NodeId(2).mesh_addr();
         let mut c = UipSocket::new(UipConfig::default(), a_addr, 1000);
-        let listener = ListenSocket::new(TcpConfig::default(), b_addr, 80);
+        let mut listener = ListenSocket::new(TcpConfig::default(), b_addr, 80);
         let t = Instant::ZERO;
         c.connect(b_addr, 80, 100, t);
         let syn = c.poll_transmit(t).expect("syn");
-        let mut s = listener.on_segment(a_addr, &syn, 200, t).expect("accept");
-        let synack = s.poll_transmit(t).expect("synack");
+        let synack = listener
+            .on_segment(a_addr, &syn, 200, t)
+            .into_reply()
+            .expect("SYN-ACK from the cache");
         c.on_segment(&synack, t);
         assert_eq!(c.state(), UipState::Established);
         let ack = c.poll_transmit(t).expect("ack");
-        s.on_segment(&ack, Ecn::NotCapable, t);
+        let s = listener
+            .on_segment(a_addr, &ack, 0, t)
+            .into_spawn()
+            .expect("accept");
         assert_eq!(s.state(), TcpState::Established);
         (c, s)
     }
