@@ -9,7 +9,10 @@
 //! warmed up, then timed over a fixed iteration count; we report
 //! ns/iter and, where a byte count is meaningful, MB/s.
 
+use lln_mac::frame::MacFrame;
+use lln_mac::pool::{FrameBuf, FramePool};
 use lln_netip::{Ecn, Ipv6Header, NextHeader, NodeId, RedConfig, RedQueue};
+use lln_sim::queue::baseline::BaselineQueue;
 use lln_sim::{Duration, EventQueue, Instant, Rng};
 use std::hint::black_box;
 use std::time::Instant as WallInstant;
@@ -18,6 +21,10 @@ use tcplp::{Flags, ListenSocket, RecvBuffer, Segment, SendBuffer, TcpConfig, Tcp
 /// Times `iters` runs of `f` (after `warmup` untimed runs) and prints
 /// one result line. Returns mean ns/iter.
 fn bench(name: &str, bytes_per_iter: Option<u64>, iters: u32, mut f: impl FnMut()) {
+    // MICROBENCH_QUICK=1 (CI's bench-smoke job) cuts iteration counts
+    // ~20x: still exercises every bench body, finishes in seconds.
+    let quick = std::env::var("MICROBENCH_QUICK").is_ok_and(|v| v != "0");
+    let iters = if quick { (iters / 20).max(1) } else { iters };
     let warmup = (iters / 10).max(1);
     for _ in 0..warmup {
         f();
@@ -151,6 +158,66 @@ fn bench_sim_primitives() {
         }
         black_box(n);
     });
+    // The wheel vs the preserved BinaryHeap+HashSet baseline under the
+    // MAC-like mix (schedule backoff + ACK timer, cancel 80% of ACK
+    // timers, drain): the simulator's actual event profile, where
+    // cancels dominate. BENCH_sim.json pins the measured speedup.
+    bench("sim/timer_wheel_mac_mix_1k", None, 5_000, || {
+        let mut q = EventQueue::<u32>::new();
+        let mut rng = Rng::new(3);
+        for i in 0..500u32 {
+            let now = q.now();
+            q.schedule(now + Duration::from_micros(128 + rng.gen_range(4872)), i);
+            let tok = q.schedule(now + Duration::from_micros(864), i);
+            if rng.gen_range(10) < 8 {
+                q.cancel(tok);
+            }
+            black_box(q.pop());
+        }
+        while q.pop().is_some() {}
+        black_box(q.len());
+    });
+    bench("sim/baseline_heap_mac_mix_1k", None, 5_000, || {
+        let mut q = BaselineQueue::<u32>::new();
+        let mut rng = Rng::new(3);
+        for i in 0..500u32 {
+            let now = q.now();
+            q.schedule(now + Duration::from_micros(128 + rng.gen_range(4872)), i);
+            let tok = q.schedule(now + Duration::from_micros(864), i);
+            if rng.gen_range(10) < 8 {
+                q.cancel(tok);
+            }
+            black_box(q.pop());
+        }
+        while q.pop().is_some() {}
+        black_box(q.len());
+    });
+}
+
+fn bench_frame_pool() {
+    let frame = MacFrame::data(NodeId(1), NodeId(2), 7, vec![0xAB; 104]);
+    let mpdu = frame.mpdu_len() as u64;
+    bench("frame/encode_104B_payload", Some(mpdu), 100_000, || {
+        black_box(frame.encode());
+    });
+    let buf = FrameBuf::new(frame.clone());
+    bench("frame/framebuf_clone_fanout4", Some(4 * mpdu), 100_000, || {
+        for _ in 0..4 {
+            let rx = buf.clone();
+            black_box(rx.encoded().len());
+        }
+    });
+    bench("frame/pool_alloc_reclaim", Some(mpdu), 100_000, || {
+        let mut pool = FramePool::new(4);
+        for seq in 0..8u8 {
+            let mut f = frame.clone();
+            f.seq = seq;
+            let b = pool.alloc(f);
+            black_box(b.encoded().len());
+            pool.reclaim(b);
+        }
+        black_box(pool.spares());
+    });
 }
 
 /// A full in-memory TCP transfer between two sockets (no simulator):
@@ -235,6 +302,7 @@ fn main() {
     bench_sendbuf();
     bench_red_queue();
     bench_sim_primitives();
+    bench_frame_pool();
     bench_socket_pair();
     bench_world();
 }

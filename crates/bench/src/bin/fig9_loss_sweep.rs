@@ -1,7 +1,12 @@
 //! Figure 9: behaviour under injected packet loss at the border router
 //! (0-21%): reliability, transport retransmissions, and duty cycles
 //! for TCPlp, CoAP, and CoCoA.
+//!
+//! The 24 runs are independent, so they fan out across cores via
+//! [`lln_bench::sweep::sweep`]; results are byte-identical to the
+//! serial loop (set `LLN_SWEEP_THREADS=1` to check).
 
+use lln_bench::sweep::sweep;
 use lln_bench::{run_app_study, AppProtocol, AppRun};
 use lln_sim::Duration;
 
@@ -12,26 +17,39 @@ fn main() {
         "proto", "loss", "reliability", "rexmit/10min", "radio DC", "CPU DC"
     );
     println!("{:-<66}", "");
-    for proto in [AppProtocol::Tcplp, AppProtocol::Coap, AppProtocol::Cocoa] {
-        for loss_pct in [0u32, 3, 6, 9, 12, 15, 18, 21] {
-            let r = run_app_study(&AppRun {
-                protocol: proto,
-                injected_loss: f64::from(loss_pct) / 100.0,
-                duration: Duration::from_secs(1500),
-                ..AppRun::default()
-            });
-            println!(
-                "{:<8} {:>5}% {:>11.1}% {:>14.1} {:>9.2}% {:>9.2}%",
-                format!("{proto:?}"),
-                loss_pct,
-                r.reliability * 100.0,
-                r.retransmissions_per_10min,
-                r.radio_dc * 100.0,
-                r.cpu_dc * 100.0
-            );
+    let grid: Vec<(AppProtocol, u32)> = [AppProtocol::Tcplp, AppProtocol::Coap, AppProtocol::Cocoa]
+        .into_iter()
+        .flat_map(|proto| {
+            [0u32, 3, 6, 9, 12, 15, 18, 21]
+                .into_iter()
+                .map(move |loss| (proto, loss))
+        })
+        .collect();
+    let results = sweep(&grid, |&(proto, loss_pct)| {
+        run_app_study(&AppRun {
+            protocol: proto,
+            injected_loss: f64::from(loss_pct) / 100.0,
+            duration: Duration::from_secs(1500),
+            ..AppRun::default()
+        })
+    });
+    let mut last_proto = None;
+    for (&(proto, loss_pct), r) in grid.iter().zip(&results) {
+        if last_proto.is_some() && last_proto != Some(proto) {
+            println!();
         }
-        println!();
+        last_proto = Some(proto);
+        println!(
+            "{:<8} {:>5}% {:>11.1}% {:>14.1} {:>9.2}% {:>9.2}%",
+            format!("{proto:?}"),
+            loss_pct,
+            r.reliability * 100.0,
+            r.retransmissions_per_10min,
+            r.radio_dc * 100.0,
+            r.cpu_dc * 100.0
+        );
     }
+    println!();
     println!("paper: TCP and CoAP hold ~100% reliability to 15% loss; CoCoA");
     println!("collapses above ~12% (weak-estimator RTO inflation); beyond 15%");
     println!("CoAP edges TCP (TCP's 12-retry exponential backoff overflows the");

@@ -27,6 +27,8 @@
 //! | `fig14_adaptive_sleep` | Figure 14 / §C.2 (adaptive interval) |
 //! | `chaos_sweep` | robustness tier: degradation + recovery under fault plans |
 
+pub mod sweep;
+
 use lln_coap::{CoapClient, CoapClientConfig, Cocoa, RtoAlgorithm};
 use lln_mac::poll::PollMode;
 use lln_mac::MacConfig;

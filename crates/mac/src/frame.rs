@@ -54,6 +54,30 @@ pub struct MacFrame {
 /// The broadcast address.
 pub const BROADCAST: NodeId = NodeId(0xffff);
 
+/// Byte-wise lookup table for the reflected CRC-16 below, built at
+/// compile time. Every frame encode and every per-receiver decode pays
+/// one CRC pass, so the table (vs the bit-serial loop) is one of the
+/// simulator fast path's measurable wins (see `BENCH_sim.json`).
+const FCS_TABLE: [u16; 256] = {
+    let mut table = [0u16; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u16;
+        let mut b = 0;
+        while b < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0x8408
+            } else {
+                crc >> 1
+            };
+            b += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
 /// IEEE 802.15.4 FCS: ITU-T CRC-16 (poly x^16+x^12+x^5+1, reflected
 /// 0x8408, init 0), computed over the MHR + payload. Real radios drop
 /// frames whose FCS does not verify; the fault-injection layer's
@@ -61,14 +85,7 @@ pub const BROADCAST: NodeId = NodeId(0xffff);
 pub fn fcs16(bytes: &[u8]) -> u16 {
     let mut crc: u16 = 0;
     for &b in bytes {
-        crc ^= u16::from(b);
-        for _ in 0..8 {
-            crc = if crc & 1 != 0 {
-                (crc >> 1) ^ 0x8408
-            } else {
-                crc >> 1
-            };
-        }
+        crc = (crc >> 8) ^ FCS_TABLE[usize::from((crc ^ u16::from(b)) & 0xff)];
     }
     crc
 }
@@ -129,16 +146,23 @@ impl MacFrame {
 
     /// Encodes to wire bytes.
     pub fn encode(&self) -> Vec<u8> {
+        let mut b = Vec::with_capacity(self.mpdu_len());
+        self.encode_into(&mut b);
+        b
+    }
+
+    /// Encodes to wire bytes into `b`, replacing its contents. Lets a
+    /// pooled buffer reuse its allocation across frames.
+    pub fn encode_into(&self, b: &mut Vec<u8>) {
+        b.clear();
         if self.frame_type == FrameType::Ack {
-            let mut b = Vec::with_capacity(ACK_MPDU_LEN);
             let fcf0 = 0b010 | (u8::from(self.pending) << 4);
             b.push(fcf0);
             b.push(0);
             b.push(self.seq);
-            b.extend_from_slice(&fcs16(&b).to_le_bytes());
-            return b;
+            b.extend_from_slice(&fcs16(b).to_le_bytes());
+            return;
         }
-        let mut b = Vec::with_capacity(self.mpdu_len());
         let ftype = match self.frame_type {
             FrameType::Data => 0b001,
             FrameType::Command => 0b011,
@@ -153,9 +177,8 @@ impl MacFrame {
         b.extend_from_slice(&self.dst.eui64());
         b.extend_from_slice(&self.src.eui64());
         b.extend_from_slice(&self.payload);
-        b.extend_from_slice(&fcs16(&b).to_le_bytes());
+        b.extend_from_slice(&fcs16(b).to_le_bytes());
         debug_assert!(b.len() <= MAX_MPDU, "frame too long: {}", b.len());
-        b
     }
 
     /// Decodes from wire bytes, verifying the FCS. Returns `None` for
@@ -266,6 +289,33 @@ mod tests {
         assert!(!f.ack_request);
         let dec = MacFrame::decode(&f.encode()).unwrap();
         assert_eq!(dec.dst, BROADCAST);
+    }
+
+    #[test]
+    fn table_crc_matches_bitwise_reference() {
+        // The shift-register definition of the FCS; the table above
+        // must reproduce it bit for bit on arbitrary inputs.
+        fn bitwise(bytes: &[u8]) -> u16 {
+            let mut crc: u16 = 0;
+            for &b in bytes {
+                crc ^= u16::from(b);
+                for _ in 0..8 {
+                    crc = if crc & 1 != 0 { (crc >> 1) ^ 0x8408 } else { crc >> 1 };
+                }
+            }
+            crc
+        }
+        assert_eq!(fcs16(&[]), bitwise(&[]));
+        let mut x: u64 = 0x1234_5678_9abc_def0;
+        for len in [1usize, 2, 5, 23, 104, 127] {
+            let data: Vec<u8> = (0..len)
+                .map(|_| {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    (x >> 33) as u8
+                })
+                .collect();
+            assert_eq!(fcs16(&data), bitwise(&data), "len {len}");
+        }
     }
 
     #[test]

@@ -21,8 +21,10 @@ pub mod csma;
 pub mod frame;
 pub mod indirect;
 pub mod poll;
+pub mod pool;
 
 pub use csma::{MacConfig, TxProcess, TxStep};
 pub use frame::{FrameType, MacFrame};
+pub use pool::{FrameBuf, FramePool};
 pub use indirect::IndirectQueue;
 pub use poll::{PollMode, PollScheduler};

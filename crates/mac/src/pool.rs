@@ -1,0 +1,193 @@
+//! Pooled, reference-counted frame buffers.
+//!
+//! A [`FrameBuf`] pairs a decoded [`MacFrame`] with its wire encoding,
+//! computed exactly once at construction. Cloning is a reference-count
+//! bump, so a frame can sit in the MAC queue, ride the medium, fan out
+//! to several receivers, and wait in the retransmit path without its
+//! payload or encoding ever being copied or re-derived — the same
+//! zero-copy buffering discipline TCPlp applies to its send buffer
+//! on-mote (§5 of the paper).
+//!
+//! A [`FramePool`] recycles the underlying allocations: when the last
+//! reference to a buffer is handed back via [`FramePool::reclaim`], its
+//! heap storage (the `Arc` block and the encoding `Vec`) is reused for
+//! the next frame instead of going back to the allocator. The steady
+//! state of a busy node — one frame in flight, a handful queued — runs
+//! entirely out of the pool.
+//!
+//! # Ownership rules
+//!
+//! - A `FrameBuf` is immutable. Anything that must differ between
+//!   frames (the frame-pending bit, sequence number) is set on the
+//!   `MacFrame` *before* the buffer is built.
+//! - `reclaim` is an optimisation, never a requirement: dropping a
+//!   `FrameBuf` is always correct, and `reclaim` quietly declines
+//!   buffers that still have other holders.
+
+use crate::frame::MacFrame;
+use std::sync::Arc;
+
+/// An immutable MAC frame plus its cached wire encoding.
+#[derive(Clone, Debug)]
+pub struct FrameBuf(Arc<FrameData>);
+
+#[derive(Debug)]
+struct FrameData {
+    frame: MacFrame,
+    encoded: Vec<u8>,
+}
+
+impl FrameBuf {
+    /// Builds a buffer for `frame`, encoding it eagerly.
+    pub fn new(frame: MacFrame) -> Self {
+        let mut encoded = Vec::with_capacity(frame.mpdu_len());
+        frame.encode_into(&mut encoded);
+        FrameBuf(Arc::new(FrameData { frame, encoded }))
+    }
+
+    /// The decoded frame.
+    pub fn frame(&self) -> &MacFrame {
+        &self.0.frame
+    }
+
+    /// The cached wire bytes (identical to `self.frame().encode()`).
+    pub fn encoded(&self) -> &[u8] {
+        &self.0.encoded
+    }
+
+    /// Encoded MPDU length in bytes (drives air-time computation).
+    pub fn mpdu_len(&self) -> usize {
+        self.0.encoded.len()
+    }
+}
+
+/// A free list of uniquely-owned frame buffers awaiting reuse.
+pub struct FramePool {
+    spares: Vec<Arc<FrameData>>,
+    max_spares: usize,
+    /// Allocations served from the free list.
+    pub reused: u64,
+    /// Allocations that had to hit the allocator.
+    pub fresh: u64,
+}
+
+impl Default for FramePool {
+    fn default() -> Self {
+        Self::new(64)
+    }
+}
+
+impl FramePool {
+    /// Creates a pool retaining at most `max_spares` idle buffers.
+    pub fn new(max_spares: usize) -> Self {
+        FramePool {
+            spares: Vec::new(),
+            max_spares,
+            reused: 0,
+            fresh: 0,
+        }
+    }
+
+    /// Builds a buffer for `frame`, reusing a spare allocation when one
+    /// is available.
+    pub fn alloc(&mut self, frame: MacFrame) -> FrameBuf {
+        match self.spares.pop() {
+            Some(mut arc) => {
+                let d = Arc::get_mut(&mut arc).expect("spares are uniquely owned");
+                d.frame = frame;
+                d.frame.encode_into(&mut d.encoded);
+                self.reused += 1;
+                FrameBuf(arc)
+            }
+            None => {
+                self.fresh += 1;
+                FrameBuf::new(frame)
+            }
+        }
+    }
+
+    /// Returns a buffer's allocation to the free list if this was the
+    /// last reference; otherwise (or when the pool is full) the buffer
+    /// simply drops.
+    pub fn reclaim(&mut self, buf: FrameBuf) {
+        if self.spares.len() < self.max_spares && Arc::strong_count(&buf.0) == 1 {
+            self.spares.push(buf.0);
+        }
+    }
+
+    /// Idle buffers currently held.
+    pub fn spares(&self) -> usize {
+        self.spares.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::{FrameType, MAC_OVERHEAD};
+    use lln_netip::NodeId;
+
+    fn data(payload: usize) -> MacFrame {
+        MacFrame::data(NodeId(1), NodeId(2), 7, vec![0xAB; payload])
+    }
+
+    #[test]
+    fn cached_encoding_matches_encode() {
+        let f = data(40);
+        let buf = FrameBuf::new(f.clone());
+        assert_eq!(buf.encoded(), f.encode().as_slice());
+        assert_eq!(buf.mpdu_len(), MAC_OVERHEAD + 40);
+        assert_eq!(buf.frame(), &f);
+    }
+
+    #[test]
+    fn clone_shares_storage() {
+        let buf = FrameBuf::new(data(10));
+        let other = buf.clone();
+        assert!(std::ptr::eq(buf.encoded(), other.encoded()));
+    }
+
+    #[test]
+    fn ack_buffer_encodes_ack() {
+        let buf = FrameBuf::new(MacFrame::ack(9, true));
+        assert_eq!(buf.mpdu_len(), crate::frame::ACK_MPDU_LEN);
+        let dec = MacFrame::decode(buf.encoded()).unwrap();
+        assert_eq!(dec.frame_type, FrameType::Ack);
+        assert!(dec.pending);
+    }
+
+    #[test]
+    fn pool_reuses_unique_buffers() {
+        let mut pool = FramePool::new(8);
+        let a = pool.alloc(data(20));
+        assert_eq!(pool.fresh, 1);
+        pool.reclaim(a);
+        assert_eq!(pool.spares(), 1);
+        let b = pool.alloc(data(90));
+        assert_eq!(pool.reused, 1);
+        assert_eq!(pool.spares(), 0);
+        // The recycled buffer re-encodes the NEW frame correctly.
+        assert_eq!(b.encoded(), b.frame().encode().as_slice());
+        assert_eq!(b.frame().payload.len(), 90);
+    }
+
+    #[test]
+    fn pool_declines_shared_buffers() {
+        let mut pool = FramePool::new(8);
+        let a = pool.alloc(data(20));
+        let held = a.clone();
+        pool.reclaim(a);
+        assert_eq!(pool.spares(), 0, "shared buffer must not be recycled");
+        drop(held);
+    }
+
+    #[test]
+    fn pool_bounds_spares() {
+        let mut pool = FramePool::new(2);
+        let bufs: Vec<_> = (0..4).map(|_| pool.alloc(data(5))).collect();
+        for b in bufs {
+            pool.reclaim(b);
+        }
+        assert_eq!(pool.spares(), 2);
+    }
+}

@@ -73,48 +73,70 @@ fn etx(links: &LinkMatrix, a: RadioIdx, b: RadioIdx) -> Option<f64> {
 impl Topology {
     /// Builds shortest-path (min-ETX) routes between every node pair.
     pub fn with_shortest_paths(links: LinkMatrix) -> Self {
+        let routes = (0..links.len())
+            .map(|src| Self::single_source(&links, src, None))
+            .collect();
+        Topology { links, routes }
+    }
+
+    /// Min-ETX routes for one source over a *borrowed* matrix,
+    /// optionally treating one link (both directions) as unusable.
+    /// Route-flap fault injection uses this to re-route a single node
+    /// around its failed parent edge without cloning the matrix or
+    /// recomputing every other node's table.
+    pub fn single_source(
+        links: &LinkMatrix,
+        src: usize,
+        exclude: Option<(usize, usize)>,
+    ) -> RouteTable {
         let n = links.len();
-        let mut routes = vec![RouteTable::new(); n];
-        for src in 0..n {
-            // Dijkstra from src.
-            let mut dist = vec![f64::INFINITY; n];
-            let mut first_hop: Vec<Option<usize>> = vec![None; n];
-            let mut visited = vec![false; n];
-            dist[src] = 0.0;
-            for _ in 0..n {
-                let mut u = None;
-                let mut best = f64::INFINITY;
-                for v in 0..n {
-                    if !visited[v] && dist[v] < best {
-                        best = dist[v];
-                        u = Some(v);
-                    }
-                }
-                let Some(u) = u else { break };
-                visited[u] = true;
-                for v in 0..n {
-                    if visited[v] {
-                        continue;
-                    }
-                    if let Some(c) = etx(&links, RadioIdx(u), RadioIdx(v)) {
-                        let nd = dist[u] + c;
-                        if nd < dist[v] {
-                            dist[v] = nd;
-                            first_hop[v] = if u == src { Some(v) } else { first_hop[u] };
-                        }
-                    }
+        let cost = |a: usize, b: usize| -> Option<f64> {
+            if let Some((x, y)) = exclude {
+                if (a, b) == (x, y) || (a, b) == (y, x) {
+                    return None;
                 }
             }
-            for (dst, fh) in first_hop.iter().enumerate() {
-                if dst == src {
+            etx(links, RadioIdx(a), RadioIdx(b))
+        };
+        // Dijkstra from src.
+        let mut dist = vec![f64::INFINITY; n];
+        let mut first_hop: Vec<Option<usize>> = vec![None; n];
+        let mut visited = vec![false; n];
+        dist[src] = 0.0;
+        for _ in 0..n {
+            let mut u = None;
+            let mut best = f64::INFINITY;
+            for v in 0..n {
+                if !visited[v] && dist[v] < best {
+                    best = dist[v];
+                    u = Some(v);
+                }
+            }
+            let Some(u) = u else { break };
+            visited[u] = true;
+            for v in 0..n {
+                if visited[v] {
                     continue;
                 }
-                if let Some(fh) = fh {
-                    routes[src].insert(NodeId(dst as u16), NodeId(*fh as u16));
+                if let Some(c) = cost(u, v) {
+                    let nd = dist[u] + c;
+                    if nd < dist[v] {
+                        dist[v] = nd;
+                        first_hop[v] = if u == src { Some(v) } else { first_hop[u] };
+                    }
                 }
             }
         }
-        Topology { links, routes }
+        let mut rt = RouteTable::new();
+        for (dst, fh) in first_hop.iter().enumerate() {
+            if dst == src {
+                continue;
+            }
+            if let Some(fh) = fh {
+                rt.insert(NodeId(dst as u16), NodeId(*fh as u16));
+            }
+        }
+        rt
     }
 
     /// Hop count from `src` to `dst` along installed routes; `None` if

@@ -11,7 +11,7 @@ use crate::supervisor::SupervisedConnection;
 use lln_coap::{CoapClient, CoapServer};
 use lln_energy::EnergyMeter;
 use lln_mac::csma::{MacConfig, TxProcess};
-use lln_mac::frame::MacFrame;
+use lln_mac::pool::FrameBuf;
 use lln_netip::{BoundedDeque, Ecn, FifoQueue, Ipv6Addr, Ipv6Header, NodeId, RedConfig, RedQueue};
 use lln_phy::medium::TxHandle;
 use lln_sim::stats::Counters;
@@ -149,10 +149,9 @@ impl IpQueue {
 
 /// The in-progress MAC transmission.
 pub struct CurrentTx {
-    /// The frame being sent.
-    pub frame: MacFrame,
-    /// Encoded bytes (cached).
-    pub encoded: Vec<u8>,
+    /// The frame being sent (its encoding is cached in the buffer, so
+    /// link retries never re-encode).
+    pub frame: FrameBuf,
     /// CSMA/retry state machine.
     pub process: TxProcess,
     /// Medium handle while on the air.
@@ -173,9 +172,9 @@ pub struct Node {
     // --- MAC state ---
     /// Control frames (data requests, indirect data) — priority queue,
     /// bounded in frames and bytes by the node budget.
-    pub ctrl_queue: BoundedDeque<MacFrame>,
+    pub ctrl_queue: BoundedDeque<FrameBuf>,
     /// Frames of the packet currently being sent.
-    pub cur_packet_frames: VecDeque<MacFrame>,
+    pub cur_packet_frames: VecDeque<FrameBuf>,
     /// The transmission in progress.
     pub cur_tx: Option<CurrentTx>,
     /// MAC sequence counter.
@@ -317,7 +316,7 @@ impl Node {
     }
 
     /// The budget-derived control queue (frames + bytes bounded).
-    fn ctrl_queue_for(budget: &NodeBudget) -> BoundedDeque<MacFrame> {
+    fn ctrl_queue_for(budget: &NodeBudget) -> BoundedDeque<FrameBuf> {
         BoundedDeque::new(budget.ctrl_queue_frames, budget.cap(MemClass::MacQueue))
     }
 
@@ -361,8 +360,8 @@ impl Node {
 
     /// Appends a control frame, charging its bytes against the MAC
     /// class; counts (and reports) a drop when the budget refuses.
-    pub fn enqueue_ctrl(&mut self, frame: MacFrame) -> bool {
-        let w = frame.payload.len() + MAC_FRAME_BYTES;
+    pub fn enqueue_ctrl(&mut self, frame: FrameBuf) -> bool {
+        let w = frame.frame().payload.len() + MAC_FRAME_BYTES;
         if self.ctrl_queue.push_back(frame, w) {
             true
         } else {
@@ -412,7 +411,7 @@ impl Node {
                 let cur: usize = self
                     .cur_packet_frames
                     .iter()
-                    .map(|f| f.payload.len() + MAC_FRAME_BYTES)
+                    .map(|f| f.frame().payload.len() + MAC_FRAME_BYTES)
                     .sum();
                 let ind: usize = self.indirect.values().map(BoundedDeque::bytes).sum();
                 self.ctrl_queue.bytes() + cur + ind
@@ -491,6 +490,7 @@ impl Node {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lln_mac::frame::MacFrame;
 
     fn node(kind: NodeKind) -> Node {
         Node::new(NodeId(3), kind, MacConfig::default(), Instant::ZERO)
@@ -530,7 +530,7 @@ mod tests {
     fn mac_idle_accounting() {
         let mut n = node(NodeKind::Router);
         assert!(n.mac_idle());
-        assert!(n.enqueue_ctrl(MacFrame::data(NodeId(3), NodeId(1), 0, vec![])));
+        assert!(n.enqueue_ctrl(FrameBuf::new(MacFrame::data(NodeId(3), NodeId(1), 0, vec![]))));
         assert!(!n.mac_idle());
     }
 
@@ -540,11 +540,16 @@ mod tests {
         let frames = n.budget.ctrl_queue_frames;
         for k in 0..frames {
             assert!(
-                n.enqueue_ctrl(MacFrame::data(NodeId(3), NodeId(1), k as u8, vec![0; 8])),
+                n.enqueue_ctrl(FrameBuf::new(MacFrame::data(
+                    NodeId(3),
+                    NodeId(1),
+                    k as u8,
+                    vec![0; 8]
+                ))),
                 "frame {k} fits"
             );
         }
-        assert!(!n.enqueue_ctrl(MacFrame::data(NodeId(3), NodeId(1), 0, vec![0; 8])));
+        assert!(!n.enqueue_ctrl(FrameBuf::new(MacFrame::data(NodeId(3), NodeId(1), 0, vec![0; 8]))));
         assert_eq!(n.counters.get("ctrl_queue_drops"), 1);
         assert_eq!(n.governor.denies(MemClass::MacQueue), 1);
     }

@@ -15,6 +15,7 @@ use lln_coap::{CoapClient, CoapServer};
 use lln_energy::RadioState;
 use lln_mac::csma::{MacConfig, TxProcess, TxStep};
 use lln_mac::frame::{FrameType, MacFrame, MAX_MAC_PAYLOAD};
+use lln_mac::pool::{FrameBuf, FramePool};
 use lln_netip::{Ecn, Ipv6Header, NextHeader, NodeId, UdpHeader};
 use lln_phy::medium::TxHandle;
 use lln_phy::{Medium, PhyConfig, RadioIdx};
@@ -133,8 +134,10 @@ pub struct World {
     pub border: Option<usize>,
     /// Cloud host index, if any.
     pub cloud: Option<usize>,
-    ack_handles: HashMap<usize, (TxHandle, MacFrame, Instant)>,
+    ack_handles: HashMap<usize, (TxHandle, FrameBuf, Instant)>,
     interferer_handles: HashMap<usize, (TxHandle, Instant)>,
+    /// Recycles frame-buffer allocations across transmissions.
+    pub pool: FramePool,
     /// Optional tcpdump-style event log (see [`crate::trace`]).
     pub trace: crate::trace::PacketTrace,
 }
@@ -202,6 +205,7 @@ impl World {
             cloud,
             ack_handles: HashMap::new(),
             interferer_handles: HashMap::new(),
+            pool: FramePool::default(),
             trace: crate::trace::PacketTrace::new(),
         };
         // Sleepy leaves begin their poll schedule immediately (spread
@@ -724,12 +728,11 @@ impl World {
         // Recompute this node's routes with the current-parent edge
         // excluded, as a routing protocol reacting to link churn would.
         // If no alternative parent reaches the anchor, keep the old
-        // routes (the flap is transient; counted but harmless).
-        let mut links = self.medium.links().clone();
-        links.set_link(RadioIdx(i), RadioIdx(old_parent.0 as usize), 0.0);
-        links.set_link(RadioIdx(old_parent.0 as usize), RadioIdx(i), 0.0);
-        let topo = Topology::with_shortest_paths(links);
-        let mut new_rt = topo.routes[i].clone();
+        // routes (the flap is transient; counted but harmless). The
+        // matrix is borrowed and only this node's table is recomputed —
+        // no clone of either.
+        let mut new_rt =
+            Topology::single_source(self.medium.links(), i, Some((i, old_parent.0 as usize)));
         let Some(new_parent) = new_rt.lookup(NodeId(anchor as u16)) else {
             return;
         };
@@ -791,11 +794,11 @@ impl World {
     /// when a burst is active there.
     fn deliver_encoded(&mut self, rx: usize, frame: &MacFrame, encoded: &[u8], now: Instant) {
         if self.nodes[rx].ber.is_none() {
-            self.deliver_frame(rx, frame.clone(), now);
+            self.deliver_frame(rx, frame, now);
             return;
         }
         match self.ber_decode(rx, encoded) {
-            Some(f) => self.deliver_frame(rx, f, now),
+            Some(f) => self.deliver_frame(rx, &f, now),
             None => {
                 self.nodes[rx].counters.inc("fcs_drops");
                 self.trace.record(
@@ -877,19 +880,18 @@ impl World {
             return;
         };
         self.wake(i, now);
-        let ack_expected = frame.ack_request;
-        let encoded = frame.encode();
+        let ack_expected = frame.frame().ack_request;
         let process = TxProcess::new(self.nodes[i].mac_cfg.clone(), ack_expected);
         // Load the frame into the radio (SPI + driver cost) BEFORE
         // CSMA: the radio then transmits immediately after a clear CCA,
         // as real 802.15.4 hardware does. Retries re-use the loaded
-        // frame and skip this cost.
-        let overhead = self.cfg.phy.platform_overhead(encoded.len());
+        // frame and skip this cost. The encoding was cached when the
+        // buffer was built, so nothing is re-encoded here either.
+        let overhead = self.cfg.phy.platform_overhead(frame.encoded().len());
         self.nodes[i].meter.add_cpu(overhead);
         let tok = self.queue.schedule(now + overhead, Event::SpiDone(i));
         self.nodes[i].cur_tx = Some(CurrentTx {
             frame,
-            encoded,
             process,
             handle: None,
             timer: Some(tok),
@@ -904,7 +906,7 @@ impl World {
         let tag = self.nodes[i].next_tag();
         for frag in fragment(&compressed, tag, MAX_MAC_PAYLOAD) {
             let seq = self.nodes[i].next_seq();
-            let f = MacFrame::data(src_l2, dst_l2, seq, frag.bytes);
+            let f = self.pool.alloc(MacFrame::data(src_l2, dst_l2, seq, frag.bytes));
             self.nodes[i].cur_packet_frames.push_back(f);
         }
         self.nodes[i].counters.inc("packets_tx");
@@ -921,7 +923,11 @@ impl World {
             TxStep::Transmit => {
                 // Channel clear and the frame is already loaded: it
                 // goes on the air after the rx/tx turnaround.
-                let len = self.nodes[i].cur_tx.as_ref().map_or(0, |t| t.encoded.len());
+                let len = self
+                    .nodes[i]
+                    .cur_tx
+                    .as_ref()
+                    .map_or(0, |t| t.frame.encoded().len());
                 let start = now + self.cfg.phy.turnaround;
                 let air = self.cfg.phy.air_time(len);
                 let handle = self.medium.begin_tx(RadioIdx(i), start, start + air);
@@ -936,7 +942,7 @@ impl World {
                     let summary = self.nodes[i]
                         .cur_tx
                         .as_ref()
-                        .map(|t| crate::trace::summarize_frame(&t.frame))
+                        .map(|t| crate::trace::summarize_frame(t.frame.frame()))
                         .unwrap_or_default();
                     self.trace.record(
                         now,
@@ -1015,9 +1021,8 @@ impl World {
             return;
         };
         let Some(handle) = tx.handle else { return };
-        let frame = tx.frame.clone();
-        let encoded = tx.encoded.clone();
-        let air = self.cfg.phy.air_time(tx.encoded.len());
+        let buf = tx.frame.clone(); // refcount bump, not a copy
+        let air = self.cfg.phy.air_time(buf.encoded().len());
         let start = now - air;
         // Sender returns to listening.
         self.nodes[i].transmitting = false;
@@ -1028,7 +1033,7 @@ impl World {
         let outcomes = self.medium.end_tx(handle, &listeners);
         for (rx, ok) in outcomes {
             if ok {
-                self.deliver_encoded(rx.0, &frame, &encoded, now);
+                self.deliver_encoded(rx.0, buf.frame(), buf.encoded(), now);
             }
         }
         // Advance the transmit state machine.
@@ -1066,18 +1071,19 @@ impl World {
                     crate::trace::TraceDir::Drop,
                     format!(
                         "link retries exhausted: {}",
-                        crate::trace::summarize_frame(&tx.frame)
+                        crate::trace::summarize_frame(tx.frame.frame())
                     ),
                 );
                 // Losing one fragment loses the packet: discard the rest.
                 self.nodes[i].cur_packet_frames.clear();
-                if tx.frame.is_data_request() {
+                if tx.frame.frame().is_data_request() {
                     // Poll failed; go back to sleep and retry later.
                     self.nodes[i].polling = false;
                 }
             } else {
                 self.nodes[i].counters.inc("frames_delivered");
             }
+            self.pool.reclaim(tx.frame);
         }
         self.kick_mac(i, now);
         self.maybe_sleep(i, now);
@@ -1087,7 +1093,7 @@ impl World {
     // Frame reception
     // ------------------------------------------------------------------
 
-    fn deliver_frame(&mut self, i: usize, frame: MacFrame, now: Instant) {
+    fn deliver_frame(&mut self, i: usize, frame: &MacFrame, now: Instant) {
         self.nodes[i].meter.add_cpu(self.cfg.cpu_per_frame);
         if self.trace.is_enabled()
             && (frame.dst == self.nodes[i].id || frame.frame_type == FrameType::Ack)
@@ -1096,7 +1102,7 @@ impl World {
                 now,
                 self.nodes[i].id,
                 crate::trace::TraceDir::FrameRx,
-                crate::trace::summarize_frame(&frame),
+                crate::trace::summarize_frame(frame),
             );
         }
         match frame.frame_type {
@@ -1162,20 +1168,20 @@ impl World {
         }
     }
 
-    fn handle_link_ack(&mut self, i: usize, ack: MacFrame, now: Instant) {
+    fn handle_link_ack(&mut self, i: usize, ack: &MacFrame, now: Instant) {
         let Some(tx) = self.nodes[i].cur_tx.as_mut() else {
             return;
         };
         // Accept only when we are actually waiting for this ACK; a
         // neighbour's ACK with a coincidentally equal sequence number
         // must not complete our (unsent or in-flight) frame.
-        if tx.frame.seq != ack.seq || !tx.process.awaiting_ack() {
+        if tx.frame.frame().seq != ack.seq || !tx.process.awaiting_ack() {
             return;
         }
         if let Some(tok) = tx.timer.take() {
             self.queue.cancel(tok);
         }
-        let was_poll = tx.frame.is_data_request();
+        let was_poll = tx.frame.frame().is_data_request();
         let step = tx.process.on_ack();
         if was_poll && self.nodes[i].kind == NodeKind::SleepyLeaf {
             self.nodes[i].polling = false;
@@ -1213,7 +1219,7 @@ impl World {
         if self.nodes[i].transmitting || !self.nodes[i].awake {
             return;
         }
-        let ack = MacFrame::ack(seq, pending);
+        let ack = self.pool.alloc(MacFrame::ack(seq, pending));
         let air = self.cfg.phy.ack_air_time();
         let handle = self.medium.begin_tx(RadioIdx(i), now, now + air);
         self.nodes[i].transmitting = true;
@@ -1231,12 +1237,12 @@ impl World {
         self.nodes[i].meter.set_radio_state(RadioState::Rx, now);
         let listeners = self.listeners_since(start, i);
         let outcomes = self.medium.end_tx(handle, &listeners);
-        let encoded = ack.encode();
         for (rx, ok) in outcomes {
             if ok {
-                self.deliver_encoded(rx.0, &ack, &encoded, now);
+                self.deliver_encoded(rx.0, ack.frame(), ack.encoded(), now);
             }
         }
+        self.pool.reclaim(ack);
     }
 
     // ------------------------------------------------------------------
@@ -1258,7 +1264,7 @@ impl World {
         };
         let seq = self.nodes[i].next_seq();
         let id = self.nodes[i].id;
-        let req = MacFrame::data_request(id, parent, seq);
+        let req = self.pool.alloc(MacFrame::data_request(id, parent, seq));
         self.nodes[i].enqueue_ctrl(req);
         // Guard window in case the poll exchange stalls entirely.
         self.extend_poll_window(i, now);
@@ -1295,7 +1301,8 @@ impl World {
                 let seq = self.nodes[i].next_seq();
                 let mut f = MacFrame::data(src_l2, child, seq, frag.bytes);
                 f.pending = k < last;
-                self.nodes[i].enqueue_ctrl(f);
+                let buf = self.pool.alloc(f);
+                self.nodes[i].enqueue_ctrl(buf);
             }
         }
         self.sync_governor(i);
