@@ -56,8 +56,34 @@ fn bench_wire_codec() {
     bench("tcp_wire/encode_462B_segment", Some(len), 100_000, || {
         black_box(seg.encode(src, dst));
     });
+    // Single-pass serialize+checksum into a recycled buffer: the
+    // datapath fast path's tx primitive (no allocation after warmup).
+    let mut pooled = Vec::with_capacity(encoded.len());
+    bench("tcp_wire/encode_into_pooled_462B", Some(len), 100_000, || {
+        seg.encode_into(src, dst, &mut pooled);
+        black_box(pooled.len());
+    });
     bench("tcp_wire/decode_462B_segment", Some(len), 100_000, || {
         black_box(Segment::decode(src, dst, &encoded)).unwrap();
+    });
+    // Borrowed-payload decode: the rx-side zero-copy primitive.
+    bench("tcp_wire/decode_view_462B_segment", Some(len), 100_000, || {
+        black_box(Segment::decode_view(src, dst, &encoded)).unwrap();
+    });
+}
+
+fn bench_checksum() {
+    use lln_netip::checksum::Checksum;
+    let data = vec![0xA5u8; 1024];
+    bench("checksum/word_at_a_time_1KiB", Some(1024), 200_000, || {
+        let mut c = Checksum::new();
+        c.add_bytes(&data);
+        black_box(c.finish());
+    });
+    bench("checksum/bytewise_reference_1KiB", Some(1024), 200_000, || {
+        let mut c = Checksum::new();
+        c.add_bytes_bytewise(&data);
+        black_box(c.finish());
     });
 }
 
@@ -221,13 +247,24 @@ fn bench_frame_pool() {
 }
 
 /// A full in-memory TCP transfer between two sockets (no simulator):
-/// measures raw protocol-processing throughput.
+/// measures raw protocol-processing throughput. Run once with header
+/// prediction on (the default) and once with it off, so the fast-path
+/// win on segment processing is visible side by side.
 fn bench_socket_pair() {
-    bench("tcp_socket_pair/transfer_50_segments", Some(50 * 462), 200, || {
+    socket_pair_variant("tcp_socket_pair/transfer_50_segs_fast", true);
+    socket_pair_variant("tcp_socket_pair/transfer_50_segs_slow", false);
+}
+
+fn socket_pair_variant(name: &str, fast_path: bool) {
+    let cfg = TcpConfig {
+        header_prediction: fast_path,
+        ..TcpConfig::default()
+    };
+    bench(name, Some(50 * 462), 200, || {
         let a_addr = NodeId(1).mesh_addr();
         let b_addr = NodeId(2).mesh_addr();
-        let mut client = TcpSocket::new(TcpConfig::default(), a_addr, 49152);
-        let mut listener = ListenSocket::new(TcpConfig::default(), b_addr, 80);
+        let mut client = TcpSocket::new(cfg.clone(), a_addr, 49152);
+        let mut listener = ListenSocket::new(cfg.clone(), b_addr, 80);
         let mut t = Instant::ZERO;
         client.connect(b_addr, 80, 1, t);
         let syn = client.poll_transmit(t).unwrap();
@@ -297,6 +334,7 @@ fn bench_world() {
 fn main() {
     println!("{:<40} {:>20} {:>15}", "benchmark", "time", "throughput");
     bench_wire_codec();
+    bench_checksum();
     bench_sixlowpan();
     bench_recvbuf();
     bench_sendbuf();

@@ -1,6 +1,6 @@
 //! Committed performance baseline for the simulator fast path.
 //!
-//! Measures the three optimisations this repo's perf tier tracks and
+//! Measures the four optimisations this repo's perf tier tracks and
 //! writes `BENCH_sim.json` at the repo root:
 //!
 //! 1. **Event queue**: the hierarchical timer wheel vs the preserved
@@ -9,25 +9,29 @@
 //!    mostly cancelled, occasional long RTOs) — events/second.
 //! 2. **Frame delivery**: pooled reference-counted [`lln_mac::FrameBuf`]
 //!    fan-out vs the old clone-and-re-encode path — bytes/second.
-//! 3. **Sweep harness**: the Figure 9 loss sweep (scaled duration)
+//! 3. **TCP datapath**: the socket fast path (taken header prediction
+//!    plus borrowed-payload decode) vs the general path with owning
+//!    codecs — segments/second.
+//! 4. **Sweep harness**: the Figure 9 loss sweep (scaled duration)
 //!    serial vs parallel via [`lln_bench::sweep::sweep`] — wall seconds.
 //!
 //! `perf_baseline --check` re-parses the committed `BENCH_sim.json`
 //! instead of re-measuring, validating its structure and the perf-tier
-//! acceptance thresholds (queue speedup >= 2x, sweep wall-time
-//! reduction >= 30%). CI runs the check; regenerate with
-//! `cargo run --release -p lln-bench --bin perf_baseline`.
+//! acceptance thresholds (queue speedup >= 2x, datapath speedup at
+//! least 1.3x, sweep wall-time reduction >= 30%). CI runs the check;
+//! regenerate with `cargo run --release -p lln-bench --bin perf_baseline`.
 
 use lln_bench::sweep::{sweep, sweep_threads};
 use lln_bench::{run_app_study, AppProtocol, AppRun};
 use lln_mac::frame::MacFrame;
 use lln_mac::pool::FrameBuf;
-use lln_netip::NodeId;
+use lln_netip::{Ecn, NodeId};
 use lln_sim::queue::baseline::BaselineQueue;
 use lln_sim::{Duration, EventQueue, Instant, Rng};
 use std::fmt::Write as _;
 use std::hint::black_box;
 use std::time::Instant as WallInstant;
+use tcplp::{ListenSocket, Segment, TcpConfig, TcpSocket};
 
 /// Ops per timed round of the MAC-shaped queue workload; mirrors the
 /// event mix a busy simulated node generates (see
@@ -256,6 +260,229 @@ fn bench_frames() -> (f64, f64) {
     pairs[pairs.len() / 2]
 }
 
+/// A recorded steady-state segment workload for the datapath bench:
+/// wire bytes of an in-order data train (receiver side) and the pure
+/// ACKs for a full in-flight window (sender side), plus socket
+/// snapshots positioned so a replay re-processes the whole stream.
+struct DpathWorkload {
+    /// Receiver snapshot taken right after the handshake: every
+    /// recorded data segment lands in order at its `rcv_nxt`.
+    server0: TcpSocket,
+    /// Sender snapshot taken mid-transfer with a full in-flight
+    /// window: every recorded ACK falls in `(snd_una, snd_max]`.
+    client1: TcpSocket,
+    data_wire: Vec<Vec<u8>>,
+    ack_wire: Vec<Vec<u8>>,
+    t: Instant,
+}
+
+/// Runs one lossless bulk transfer and records the two wire streams.
+/// The server application drains after every segment so each ACK
+/// advertises the full window — the steady state a well-provisioned
+/// receiver presents, and the shape header prediction is built for.
+fn record_dpath() -> DpathWorkload {
+    // Buffers sized just under the (unscaled) 16-bit window so a full
+    // in-flight window spans ~120 MSS-sized segments.
+    let cfg = TcpConfig {
+        send_buf: 57_344,
+        recv_buf: 57_344,
+        ..TcpConfig::default()
+    };
+    let a_addr = NodeId(1).mesh_addr();
+    let b_addr = NodeId(2).mesh_addr();
+    let mut client = TcpSocket::new(cfg.clone(), a_addr, 49152);
+    let mut listener = ListenSocket::new(cfg, b_addr, 80);
+    let mut t = Instant::ZERO;
+    client.connect(b_addr, 80, 1, t);
+    let syn = client.poll_transmit(t).expect("SYN");
+    let synack = listener
+        .on_segment(a_addr, &syn, 2, t)
+        .into_reply()
+        .expect("SYN-ACK");
+    client.on_segment(&synack, Ecn::NotCapable, t);
+    let ack = client.poll_transmit(t).expect("ACK");
+    let mut server = listener
+        .on_segment(a_addr, &ack, 0, t)
+        .into_spawn()
+        .expect("spawn");
+    let server0 = server.clone();
+
+    let chunk = vec![0xAAu8; 462];
+    let mut rdbuf = [0u8; 4096];
+    let mut data_wire: Vec<Vec<u8>> = Vec::new();
+    let mut data_bytes = 0usize;
+    // Leave headroom so every replayed segment fits server0's window
+    // whole (a partial trim would still work, but keep it clean).
+    let data_cap = 57_344 - 2 * 462;
+    let mut data_done = false;
+    let mut client1 = None;
+    let mut ack_wire: Vec<Vec<u8>> = Vec::new();
+    for round in 0..200 {
+        t += Duration::from_millis(1);
+        while client.send(&chunk) > 0 {}
+        client.tick(t);
+        if client.poll_at().is_some_and(|d| d <= t) {
+            client.on_timer(t);
+        }
+        let mut acks = Vec::new();
+        while let Some(seg) = client.poll_transmit(t) {
+            if !data_done && !seg.payload.is_empty() {
+                if data_bytes + seg.payload.len() <= data_cap {
+                    data_wire.push(seg.encode(a_addr, b_addr));
+                    data_bytes += seg.payload.len();
+                } else {
+                    data_done = true; // keep the recorded train gapless
+                }
+            }
+            server.on_segment(&seg, Ecn::NotCapable, t);
+            // Drain immediately: ACKs advertise the full window.
+            while server.recv(&mut rdbuf) > 0 {}
+            // Poll per segment: the socket coalesces ACK state, so
+            // this is what yields the every-other-segment ACK train
+            // an interleaved network produces.
+            while let Some(a) = server.poll_transmit(t) {
+                acks.push(a);
+            }
+        }
+        server.tick(t);
+        if server.poll_at().is_some_and(|d| d <= t) {
+            server.on_timer(t);
+        }
+        while let Some(seg) = server.poll_transmit(t) {
+            acks.push(seg);
+        }
+        // Snapshot the sender once the congestion window has opened:
+        // this round's ACKs all fall inside its in-flight range.
+        if round == 60 {
+            client1 = Some(client.clone());
+            for a in &acks {
+                ack_wire.push(a.encode(b_addr, a_addr));
+            }
+        }
+        for a in &acks {
+            client.on_segment(a, Ecn::NotCapable, t);
+        }
+        if client1.is_some() {
+            break;
+        }
+    }
+    assert!(data_wire.len() >= 64, "recorded data train too short");
+    assert!(ack_wire.len() >= 16, "recorded ACK train too short");
+    DpathWorkload {
+        server0,
+        client1: client1.expect("sender snapshot"),
+        data_wire,
+        ack_wire,
+        t,
+    }
+}
+
+/// The TCP datapath fast path (taken header prediction + borrowed
+/// -payload decode feeding `on_segment_view`) vs the general path
+/// (owning decode + full input processing), replaying the same
+/// recorded wire streams into cloned socket snapshots. What is timed
+/// is exactly the per-segment rx datapath a simulated node runs:
+/// parse wire bytes, process the segment. Returns
+/// `(fast_segs, fast_bytes, slow_segs, slow_bytes)` per second.
+fn bench_dpath() -> (f64, f64, f64, f64) {
+    let w = record_dpath();
+
+    // One replay's processing, outside the timed path: prove the fast
+    // variant actually takes the short paths for nearly every segment,
+    // so the recorded baseline can never describe a degenerate stream.
+    {
+        let mut s = w.server0.clone();
+        let mut c = w.client1.clone();
+        s.set_header_prediction(true);
+        c.set_header_prediction(true);
+        for wire in &w.data_wire {
+            let v = Segment::decode_view(a_of(), b_of(), wire).expect("decode_view");
+            s.on_segment_view(v, Ecn::NotCapable, w.t);
+        }
+        for wire in &w.ack_wire {
+            let v = Segment::decode_view(b_of(), a_of(), wire).expect("decode_view");
+            c.on_segment_view(v, Ecn::NotCapable, w.t);
+        }
+        assert!(
+            s.stats.predicted_data as usize >= w.data_wire.len() * 9 / 10,
+            "data replay missed the fast path: {} of {}",
+            s.stats.predicted_data,
+            w.data_wire.len()
+        );
+        assert!(
+            c.stats.predicted_acks as usize >= w.ack_wire.len() / 2,
+            "ACK replay missed the fast path: {} of {}",
+            c.stats.predicted_acks,
+            w.ack_wire.len()
+        );
+    }
+
+    fn a_of() -> lln_netip::Ipv6Addr {
+        NodeId(1).mesh_addr()
+    }
+    fn b_of() -> lln_netip::Ipv6Addr {
+        NodeId(2).mesh_addr()
+    }
+
+    let pass = |fast: bool, s: &mut TcpSocket, c: &mut TcpSocket| -> (f64, f64) {
+        const ITERS: u32 = 600;
+        let mut segs = 0u64;
+        let mut bytes = 0u64;
+        let mut spent = std::time::Duration::ZERO;
+        for _ in 0..ITERS {
+            // The snapshot reset (clone_from reuses the buffers'
+            // allocations, so it is a pair of memcpys) is harness
+            // bookkeeping, not segment processing: kept off the clock.
+            s.clone_from(&w.server0);
+            c.clone_from(&w.client1);
+            s.set_header_prediction(fast);
+            c.set_header_prediction(fast);
+            let start = WallInstant::now();
+            if fast {
+                for wire in &w.data_wire {
+                    let v = Segment::decode_view(a_of(), b_of(), wire).expect("decode_view");
+                    s.on_segment_view(v, Ecn::NotCapable, w.t);
+                    bytes += wire.len() as u64;
+                }
+                for wire in &w.ack_wire {
+                    let v = Segment::decode_view(b_of(), a_of(), wire).expect("decode_view");
+                    c.on_segment_view(v, Ecn::NotCapable, w.t);
+                    bytes += wire.len() as u64;
+                }
+            } else {
+                for wire in &w.data_wire {
+                    let seg = Segment::decode(a_of(), b_of(), wire).expect("decode");
+                    s.on_segment(&seg, Ecn::NotCapable, w.t);
+                    bytes += wire.len() as u64;
+                }
+                for wire in &w.ack_wire {
+                    let seg = Segment::decode(b_of(), a_of(), wire).expect("decode");
+                    c.on_segment(&seg, Ecn::NotCapable, w.t);
+                    bytes += wire.len() as u64;
+                }
+            }
+            spent += start.elapsed();
+            segs += (w.data_wire.len() + w.ack_wire.len()) as u64;
+        }
+        let el = spent.as_secs_f64();
+        black_box((s.state(), c.state()));
+        (segs as f64 / el, bytes as f64 / el)
+    };
+
+    // Interleaved pairs, median speedup (see `bench_queue`); one
+    // untimed pass of each warms caches first.
+    let mut s = w.server0.clone();
+    let mut c = w.client1.clone();
+    black_box(pass(true, &mut s, &mut c));
+    black_box(pass(false, &mut s, &mut c));
+    let mut pairs: Vec<((f64, f64), (f64, f64))> = (0..5)
+        .map(|_| (pass(true, &mut s, &mut c), pass(false, &mut s, &mut c)))
+        .collect();
+    pairs.sort_by(|x, y| (x.0 .0 / x.1 .0).total_cmp(&(y.0 .0 / y.1 .0)));
+    let (f, s) = pairs[pairs.len() / 2];
+    (f.0, f.1, s.0, s.1)
+}
+
 /// The Figure 9 grid at reduced duration (the canonical perf-tier
 /// sweep): same worlds, same seeds, shorter simulated time so the
 /// baseline regenerates in minutes.
@@ -313,6 +540,13 @@ fn generate() -> String {
     let (pooled_bps, cloned_bps) = bench_frames();
     eprintln!("  pooled {pooled_bps:.0} B/s, cloned {cloned_bps:.0} B/s ({:.2}x)", pooled_bps / cloned_bps);
 
+    eprintln!("measuring TCP datapath (fast path vs general path)...");
+    let (dp_fast_segs, dp_fast_bytes, dp_slow_segs, dp_slow_bytes) = bench_dpath();
+    eprintln!(
+        "  fast {dp_fast_segs:.0} segs/s, slow {dp_slow_segs:.0} segs/s ({:.2}x)",
+        dp_fast_segs / dp_slow_segs
+    );
+
     eprintln!("timing fig9 sweep serial vs parallel ({} threads)...", sweep_threads());
     let (serial_s, parallel_s, dig_s, dig_p) = bench_sweep();
     assert_eq!(dig_s, dig_p, "parallel sweep must reproduce serial results");
@@ -334,6 +568,14 @@ fn generate() -> String {
     let _ = writeln!(j, "    \"pooled_bytes_per_sec\": {pooled_bps:.0},");
     let _ = writeln!(j, "    \"cloned_bytes_per_sec\": {cloned_bps:.0},");
     let _ = writeln!(j, "    \"speedup\": {:.3}", pooled_bps / cloned_bps);
+    let _ = writeln!(j, "  }},");
+    let _ = writeln!(j, "  \"dpath\": {{");
+    let _ = writeln!(j, "    \"workload\": \"steady bulk transfer, wire round-trip per segment\",");
+    let _ = writeln!(j, "    \"fast_segments_per_sec\": {dp_fast_segs:.0},");
+    let _ = writeln!(j, "    \"fast_bytes_per_sec\": {dp_fast_bytes:.0},");
+    let _ = writeln!(j, "    \"slow_segments_per_sec\": {dp_slow_segs:.0},");
+    let _ = writeln!(j, "    \"slow_bytes_per_sec\": {dp_slow_bytes:.0},");
+    let _ = writeln!(j, "    \"dpath_speedup\": {:.3}", dp_fast_segs / dp_slow_segs);
     let _ = writeln!(j, "  }},");
     let _ = writeln!(j, "  \"fig9_sweep\": {{");
     let _ = writeln!(j, "    \"runs\": 24,");
@@ -370,6 +612,12 @@ fn check(path: &str) -> Result<(), String> {
     if q < 2.0 {
         return Err(format!("queue speedup {q:.2}x below the 2x acceptance floor"));
     }
+    let dp = need("dpath_speedup")?;
+    if dp < 1.3 {
+        return Err(format!(
+            "datapath fast-path speedup {dp:.2}x below the 1.3x acceptance floor"
+        ));
+    }
     let red = need("wall_time_reduction")?;
     let threads = need("threads")?;
     if threads > 1.5 {
@@ -390,6 +638,10 @@ fn check(path: &str) -> Result<(), String> {
         "baseline_events_per_sec",
         "pooled_bytes_per_sec",
         "cloned_bytes_per_sec",
+        "fast_segments_per_sec",
+        "fast_bytes_per_sec",
+        "slow_segments_per_sec",
+        "slow_bytes_per_sec",
         "serial_wall_sec",
         "parallel_wall_sec",
     ] {
@@ -399,7 +651,7 @@ fn check(path: &str) -> Result<(), String> {
         return Err("missing result_digest".into());
     }
     println!(
-        "BENCH_sim.json ok: queue {q:.2}x, sweep wall-time reduction {:.0}% ({threads:.0} threads)",
+        "BENCH_sim.json ok: queue {q:.2}x, dpath {dp:.2}x, sweep wall-time reduction {:.0}% ({threads:.0} threads)",
         red * 100.0
     );
     Ok(())

@@ -73,4 +73,4 @@ pub use socket::{
     TcpSocket, TcpState,
 };
 pub use stats::TcpStats;
-pub use wire::{Flags, SackBlock, Segment, Timestamps};
+pub use wire::{Flags, SackBlock, Segment, SegmentView, Timestamps};

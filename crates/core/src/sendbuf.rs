@@ -54,11 +54,12 @@ impl SendBuffer {
     pub fn push(&mut self, data: &[u8]) -> usize {
         let n = data.len().min(self.free());
         let cap = self.capacity();
-        let mut pos = (self.head + self.len) % cap;
-        for &b in &data[..n] {
-            self.buf[pos] = b;
-            pos = (pos + 1) % cap;
-        }
+        let pos = (self.head + self.len) % cap;
+        // Two bulk copies (split at the wrap point) instead of a
+        // byte-at-a-time walk.
+        let first = n.min(cap - pos);
+        self.buf[pos..pos + first].copy_from_slice(&data[..first]);
+        self.buf[..n - first].copy_from_slice(&data[first..n]);
         self.len += n;
         n
     }

@@ -31,7 +31,7 @@ use crate::sack::SackScoreboard;
 use crate::sendbuf::SendBuffer;
 use crate::seq::TcpSeq;
 use crate::stats::{CwndTrace, RttTrace, TcpStats};
-use crate::wire::{Flags, SackBlock, Segment, Timestamps};
+use crate::wire::{Flags, SackBlock, Segment, SegmentView, Timestamps};
 use lln_netip::{Ecn, Ipv6Addr};
 use lln_sim::{Duration, Instant};
 
@@ -273,6 +273,13 @@ impl TcpSocket {
     /// Negotiated send MSS.
     pub fn mss(&self) -> usize {
         self.snd_mss
+    }
+
+    /// Runtime toggle for header prediction (the taken fast path).
+    /// Exists for differential testing and benchmarking; prediction is
+    /// on by default and behaviorally identical to the general path.
+    pub fn set_header_prediction(&mut self, enabled: bool) {
+        self.cfg.header_prediction = enabled;
     }
 
     /// Remote endpoint.
@@ -614,7 +621,17 @@ impl TcpSocket {
 
     /// Processes an incoming, checksum-verified segment. `ecn` is the
     /// IP-layer codepoint (CE marking feeds the ECN machinery).
+    /// Convenience wrapper over [`TcpSocket::on_segment_view`] for
+    /// callers holding an owned [`Segment`].
     pub fn on_segment(&mut self, seg: &Segment, ecn: Ecn, now: Instant) {
+        self.on_segment_view(seg.view(), ecn, now);
+    }
+
+    /// Processes an incoming, checksum-verified segment handed over as
+    /// a borrowed view — the zero-copy input path: the payload slice
+    /// is read straight into the receive buffer, never copied into an
+    /// intermediate allocation.
+    pub fn on_segment_view(&mut self, seg: SegmentView<'_>, ecn: Ecn, now: Instant) {
         if matches!(self.state, TcpState::Closed) {
             return;
         }
@@ -627,7 +644,7 @@ impl TcpSocket {
         }
     }
 
-    fn input_syn_sent(&mut self, seg: &Segment, now: Instant) {
+    fn input_syn_sent(&mut self, seg: SegmentView<'_>, now: Instant) {
         let has_ack = seg.flags.contains(Flags::ACK);
         if has_ack && (seg.ack.le(self.iss) || seg.ack.gt(self.snd_max)) {
             // Unacceptable ACK; RFC 793 says send RST unless RST set.
@@ -692,7 +709,7 @@ impl TcpSocket {
     }
 
     #[allow(clippy::too_many_lines)]
-    fn input_general(&mut self, seg: &Segment, ecn: Ecn, now: Instant) {
+    fn input_general(&mut self, seg: SegmentView<'_>, ecn: Ecn, now: Instant) {
         let rcv_wnd = self.rcvbuf.window() as u32;
         let seg_len = seg.seq_len();
 
@@ -704,6 +721,38 @@ impl TcpSocket {
                     self.ack_now = true;
                     return;
                 }
+            }
+        }
+
+        // --- Header prediction (FreeBSD's fast path, taken) ---
+        // In the established steady state almost every segment is
+        // either the next pure ACK or the next in-order data segment;
+        // both classes skip the general machine below entirely. The
+        // predicate is conservative: any miss (window change, SYN/FIN/
+        // RST/URG, out-of-order seq, old or too-new ack) falls through
+        // unchanged. A predicted pure ACK is always acceptable by the
+        // RFC 793 test (seq == rcv_nxt), and predicted data requires
+        // rcv_wnd > 0 so it is too — the short paths therefore start
+        // exactly where the general path would for these segments.
+        if self.cfg.header_prediction
+            && self.state == TcpState::Established
+            && seg.seq == self.rcv_nxt
+            && !seg.flags.intersects(Flags::FIN | Flags::SYN | Flags::RST | Flags::URG)
+            && seg.flags.contains(Flags::ACK)
+        {
+            if seg.payload.is_empty()
+                && seg.ack.gt(self.snd_una)
+                && seg.ack.le(self.snd_max)
+                && u32::from(seg.window) == self.snd_wnd
+            {
+                self.update_ts_recent(seg, seg_len);
+                self.fast_path_ack(seg, ecn, now);
+                return;
+            }
+            if !seg.payload.is_empty() && seg.ack == self.snd_una && rcv_wnd > 0 {
+                self.update_ts_recent(seg, seg_len);
+                self.fast_path_data(seg, seg_len, ecn, now);
+                return;
             }
         }
 
@@ -749,33 +798,7 @@ impl TcpSocket {
             return;
         }
 
-        // --- Update ts_recent (RFC 7323 §4.3) ---
-        if self.ts_enabled {
-            if let Some(ts) = seg.timestamps {
-                if seg.seq.le(self.last_ack_sent)
-                    && self.last_ack_sent.lt(seg.seq + seg_len.max(1))
-                {
-                    self.ts_recent = ts.value;
-                }
-            }
-        }
-
-        // --- Header prediction (FreeBSD fast path; stats only, the
-        //     general path below is used for actual processing) ---
-        if self.state == TcpState::Established
-            && seg.seq == self.rcv_nxt
-            && !seg.flags.intersects(Flags::FIN | Flags::SYN | Flags::RST | Flags::URG)
-        {
-            if seg.payload.is_empty()
-                && seg.ack.gt(self.snd_una)
-                && seg.ack.le(self.snd_max)
-                && u32::from(seg.window) == self.snd_wnd
-            {
-                self.stats.predicted_acks += 1;
-            } else if !seg.payload.is_empty() && seg.ack == self.snd_una {
-                self.stats.predicted_data += 1;
-            }
-        }
+        self.update_ts_recent(seg, seg_len);
 
         // --- SYN-RECEIVED: does this ACK complete the handshake? ---
         if self.state == TcpState::SynReceived {
@@ -806,81 +829,16 @@ impl TcpSocket {
             self.persist_probes = 0;
         }
 
-        // Ingest SACK blocks (and count SACK-carrying dup ACKs).
-        let had_sack_news = if self.sack_enabled && !seg.sack_blocks.is_empty() {
-            let before = self.sack.sacked_bytes();
-            let res = self.sack.update(&seg.sack_blocks, self.snd_una, self.snd_max);
-            self.stats.sack_blocks_rejected += u64::from(res.rejected);
-            self.stats.dsack_rcvd += u64::from(res.dsack);
-            self.sack.sacked_bytes() != before
-        } else {
-            false
-        };
-
-        // ECN echo from receiver.
-        if self.ecn_enabled && seg.flags.contains(Flags::ECE)
-            && self.cc.on_ecn_echo(self.snd_una, self.snd_max) {
-                self.stats.ecn_reductions += 1;
-                self.ecn_send_cwr = true;
-                self.trace_cwnd(now);
-            }
+        let had_sack_news = self.ingest_sack(seg);
+        self.note_ecn_echo(seg, now);
 
         if seg.ack.gt(self.snd_una) {
             self.process_new_ack(seg, now);
         } else if seg.ack == self.snd_una {
-            let is_window_update = self.snd_wnd != u32::from(seg.window);
-            let is_dup = seg.payload.is_empty()
-                && seg_len == 0
-                && !is_window_update
-                && self.snd_max.gt(self.snd_una);
-            if is_dup || (had_sack_news && self.snd_max.gt(self.snd_una)) {
-                self.stats.dup_acks_rcvd += 1;
-                let flight = self.flight_size();
-                match self.cc.on_dup_ack(self.snd_una, self.snd_max, flight) {
-                    CcAction::FastRetransmit => {
-                        self.stats.fast_rexmits += 1;
-                        self.rexmit_now = true;
-                        self.sack.start_recovery(self.snd_una);
-                        self.sack_rexmit_budget = 1;
-                        self.trace_cwnd(now);
-                    }
-                    _ => {
-                        if self.cc.in_recovery() {
-                            self.sack_rexmit_budget += 1;
-                        }
-                    }
-                }
-            }
+            self.same_ack_dup_check(seg, seg_len, had_sack_news, now);
         }
 
-        // --- Window update (RFC 793 p.72) ---
-        // `persist_recover` lets a genuine window-opening ACK through
-        // even when a forged segment with an inflated seq has wedged
-        // snd_wl1 ahead of anything the real peer will send: while we
-        // are persisting, any ACK at snd_una that opens the window is
-        // believed. Without it a single forged zero-window ACK turns
-        // into a silent permanent stall.
-        let wl_ok = seg.seq.gt(self.snd_wl1)
-            || (seg.seq == self.snd_wl1 && seg.ack.ge(self.snd_wl2));
-        let persist_recover = self.persist_deadline.is_some()
-            && seg.ack == self.snd_una
-            && u32::from(seg.window) > 0;
-        if wl_ok || persist_recover {
-            self.snd_wnd = u32::from(seg.window);
-            self.snd_wl1 = seg.seq;
-            self.snd_wl2 = seg.ack;
-            if self.snd_wnd == 0 && !self.sndbuf.is_empty() {
-                if self.persist_deadline.is_none() {
-                    self.persist_backoff = 0;
-                    self.persist_probes = 0;
-                    self.persist_deadline = Some(now + self.cfg.persist_base);
-                }
-            } else {
-                self.persist_deadline = None;
-                self.persist_backoff = 0;
-                self.persist_probes = 0;
-            }
-        }
+        self.update_send_window(seg, now);
 
         // --- Payload processing ---
         if !seg.payload.is_empty()
@@ -926,7 +884,156 @@ impl TcpSocket {
         }
     }
 
-    fn process_new_ack(&mut self, seg: &Segment, now: Instant) {
+    /// RFC 7323 §4.3: remember the peer's timestamp for segments that
+    /// cover `last_ack_sent`. Shared by the fast paths and the general
+    /// machine — both call it at the same point relative to PAWS.
+    fn update_ts_recent(&mut self, seg: SegmentView<'_>, seg_len: u32) {
+        if self.ts_enabled {
+            if let Some(ts) = seg.timestamps {
+                if seg.seq.le(self.last_ack_sent)
+                    && self.last_ack_sent.lt(seg.seq + seg_len.max(1))
+                {
+                    self.ts_recent = ts.value;
+                }
+            }
+        }
+    }
+
+    /// Ingest SACK blocks (and note whether they carried news, which
+    /// makes a same-ack segment count as a dup ACK for recovery).
+    fn ingest_sack(&mut self, seg: SegmentView<'_>) -> bool {
+        if self.sack_enabled && !seg.sack_blocks().is_empty() {
+            let before = self.sack.sacked_bytes();
+            let res = self.sack.update(seg.sack_blocks(), self.snd_una, self.snd_max);
+            self.stats.sack_blocks_rejected += u64::from(res.rejected);
+            self.stats.dsack_rcvd += u64::from(res.dsack);
+            self.sack.sacked_bytes() != before
+        } else {
+            false
+        }
+    }
+
+    /// ECN echo from the receiver: reduce once per window.
+    fn note_ecn_echo(&mut self, seg: SegmentView<'_>, now: Instant) {
+        if self.ecn_enabled && seg.flags.contains(Flags::ECE)
+            && self.cc.on_ecn_echo(self.snd_una, self.snd_max) {
+                self.stats.ecn_reductions += 1;
+                self.ecn_send_cwr = true;
+                self.trace_cwnd(now);
+            }
+    }
+
+    /// Same-ack handling: classify dup ACKs (RFC 5681 §3.2) and drive
+    /// fast retransmit / SACK-based recovery.
+    fn same_ack_dup_check(
+        &mut self,
+        seg: SegmentView<'_>,
+        seg_len: u32,
+        had_sack_news: bool,
+        now: Instant,
+    ) {
+        let is_window_update = self.snd_wnd != u32::from(seg.window);
+        let is_dup = seg.payload.is_empty()
+            && seg_len == 0
+            && !is_window_update
+            && self.snd_max.gt(self.snd_una);
+        if is_dup || (had_sack_news && self.snd_max.gt(self.snd_una)) {
+            self.stats.dup_acks_rcvd += 1;
+            let flight = self.flight_size();
+            match self.cc.on_dup_ack(self.snd_una, self.snd_max, flight) {
+                CcAction::FastRetransmit => {
+                    self.stats.fast_rexmits += 1;
+                    self.rexmit_now = true;
+                    self.sack.start_recovery(self.snd_una);
+                    self.sack_rexmit_budget = 1;
+                    self.trace_cwnd(now);
+                }
+                _ => {
+                    if self.cc.in_recovery() {
+                        self.sack_rexmit_budget += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Window update (RFC 793 p.72), including persist-timer entry/exit.
+    /// `persist_recover` lets a genuine window-opening ACK through
+    /// even when a forged segment with an inflated seq has wedged
+    /// snd_wl1 ahead of anything the real peer will send: while we
+    /// are persisting, any ACK at snd_una that opens the window is
+    /// believed. Without it a single forged zero-window ACK turns
+    /// into a silent permanent stall.
+    fn update_send_window(&mut self, seg: SegmentView<'_>, now: Instant) {
+        let wl_ok = seg.seq.gt(self.snd_wl1)
+            || (seg.seq == self.snd_wl1 && seg.ack.ge(self.snd_wl2));
+        let persist_recover = self.persist_deadline.is_some()
+            && seg.ack == self.snd_una
+            && u32::from(seg.window) > 0;
+        if wl_ok || persist_recover {
+            self.snd_wnd = u32::from(seg.window);
+            self.snd_wl1 = seg.seq;
+            self.snd_wl2 = seg.ack;
+            if self.snd_wnd == 0 && !self.sndbuf.is_empty() {
+                if self.persist_deadline.is_none() {
+                    self.persist_backoff = 0;
+                    self.persist_probes = 0;
+                    self.persist_deadline = Some(now + self.cfg.persist_base);
+                }
+            } else {
+                self.persist_deadline = None;
+                self.persist_backoff = 0;
+                self.persist_probes = 0;
+            }
+        }
+    }
+
+    /// Fast path for a predicted pure ACK: the next in-sequence ACK of
+    /// new data with no payload, no special flags, and an unchanged
+    /// window. Runs exactly the sender-side steps the general machine
+    /// would for this segment class — persist reset, SACK ingest, ECN
+    /// echo, new-ACK processing, window bookkeeping, CE/CWR — and
+    /// skips everything else (RST/SYN/FIN handling, receive side).
+    fn fast_path_ack(&mut self, seg: SegmentView<'_>, ecn: Ecn, now: Instant) {
+        self.stats.predicted_acks += 1;
+        if self.persist_deadline.is_some() {
+            self.persist_probes = 0;
+        }
+        // The dup-ACK branch is unreachable here (ack > snd_una), but
+        // the scoreboard side effects and stats must still happen.
+        let _ = self.ingest_sack(seg);
+        self.note_ecn_echo(seg, now);
+        self.process_new_ack(seg, now);
+        self.update_send_window(seg, now);
+        if ecn == Ecn::Ce && self.ecn_enabled {
+            self.ecn_send_ece = true;
+            self.ack_now = true;
+        }
+        if self.ecn_enabled && seg.flags.contains(Flags::CWR) {
+            self.ecn_send_ece = false;
+        }
+    }
+
+    /// Fast path for predicted in-order data: the next expected segment
+    /// carrying payload with `ack == snd_una` and room in the receive
+    /// window. Appends straight to the receive buffer (bulk in-order
+    /// ingest) and schedules a delayed ACK via the normal ACK policy.
+    fn fast_path_data(&mut self, seg: SegmentView<'_>, seg_len: u32, ecn: Ecn, now: Instant) {
+        self.stats.predicted_data += 1;
+        if self.persist_deadline.is_some() {
+            self.persist_probes = 0;
+        }
+        let had_sack_news = self.ingest_sack(seg);
+        self.note_ecn_echo(seg, now);
+        self.same_ack_dup_check(seg, seg_len, had_sack_news, now);
+        self.update_send_window(seg, now);
+        self.process_payload(seg, ecn, now);
+        if self.ecn_enabled && seg.flags.contains(Flags::CWR) {
+            self.ecn_send_ece = false;
+        }
+    }
+
+    fn process_new_ack(&mut self, seg: SegmentView<'_>, now: Instant) {
         let flight_before = self.flight_size();
         let acked = seg.ack.distance_from(self.snd_una);
 
@@ -1022,7 +1129,7 @@ impl TcpSocket {
         true
     }
 
-    fn process_payload(&mut self, seg: &Segment, ecn: Ecn, now: Instant) {
+    fn process_payload(&mut self, seg: SegmentView<'_>, ecn: Ecn, now: Instant) {
         // Trim data before rcv_nxt.
         let mut offset_in_seg = 0usize;
         let mut stream_off = 0usize;
@@ -1747,7 +1854,16 @@ impl ListenSocket {
 
     fn on_ack(&mut self, remote_addr: Ipv6Addr, seg: &Segment, now: Instant) -> ListenerResponse {
         if let Some(i) = self.find(remote_addr, seg.src_port) {
-            let ok = seg.ack == self.entries[i].iss + 1 && seg.seq == self.entries[i].irs + 1;
+            // The completing ACK need not be the bare handshake ACK: if
+            // that ACK was lost, the client's first data segments still
+            // carry ack == iss+1 and an in-window seq, and must complete
+            // the handshake (RFC 793 SYN-RECEIVED processing). Requiring
+            // seq == irs+1 exactly made the cache reject them as bad
+            // ACKs until the entry timed out and the connection died.
+            let e = &self.entries[i];
+            let ok = seg.ack == e.iss + 1
+                && (seg.seq == e.irs + 1
+                    || seg.seq.in_window(e.irs + 1, self.cfg.recv_buf as u32));
             if ok {
                 let e = self.entries.remove(i);
                 let sock = self.promote(&e, seg, now);
@@ -2198,6 +2314,39 @@ mod tests {
         assert_eq!(l.half_open(), 0, "entry promoted and freed");
         assert_eq!(l.stats.spawned, 1);
         assert!(s.mem_footprint() > 0, "live socket pins its buffers");
+    }
+
+    /// The lost-handshake-ACK fix: when the bare completing ACK is
+    /// dropped in transit, the client (which moved to Established on
+    /// the SYN-ACK) sends data segments whose seq sits *past* irs+1.
+    /// Those must still complete the handshake — requiring seq to be
+    /// exactly irs+1 strands the entry until it expires in a RST.
+    #[test]
+    fn lost_handshake_ack_completes_via_data_segment() {
+        let mut l = ListenSocket::new(TcpConfig::default(), NodeId(9).mesh_addr(), 80);
+        let t = Instant::ZERO;
+        let peer = NodeId(1).mesh_addr();
+        let syn = Segment::new(5, 80, TcpSeq(77), TcpSeq(0), Flags::SYN);
+        let _synack = l.on_segment(peer, &syn, 1, t).into_reply().expect("SYN-ACK");
+        // The bare ACK (seq 78) is lost. A later data segment arrives
+        // with an advanced seq but the right ack.
+        let mut data = Segment::new(5, 80, TcpSeq(78 + 462), TcpSeq(2), Flags::ACK);
+        data.payload = vec![0xCC; 100];
+        let s = l
+            .on_segment(peer, &data, 0, t + Duration::from_millis(800))
+            .into_spawn()
+            .expect("in-window data segment completes the handshake");
+        assert_eq!(s.state(), TcpState::Established);
+        assert_eq!(l.half_open(), 0);
+        // A wrong-ack or far-out-of-window segment still does not.
+        let syn2 = Segment::new(6, 80, TcpSeq(10), TcpSeq(0), Flags::SYN);
+        let _ = l.on_segment(peer, &syn2, 1, t).into_reply().expect("SYN-ACK");
+        let bad_before = l.stats.bad_acks;
+        let wrong_ack = Segment::new(6, 80, TcpSeq(11), TcpSeq(999), Flags::ACK);
+        assert!(l.on_segment(peer, &wrong_ack, 0, t).into_spawn().is_none());
+        let far_seq = Segment::new(6, 80, TcpSeq(11 + (1 << 20)), TcpSeq(2), Flags::ACK);
+        assert!(l.on_segment(peer, &far_seq, 0, t).into_spawn().is_none());
+        assert_eq!(l.stats.bad_acks, bad_before + 2);
     }
 
     /// The satellite fix: a retransmitted SYN from the same 4-tuple

@@ -106,6 +106,77 @@ pub struct Timestamps {
     pub echo: u32,
 }
 
+/// A borrowed view of a decoded TCP segment: every header field by
+/// value (they are a few dozen bytes) plus the payload as a slice into
+/// the caller's receive buffer. This is the zero-copy datapath type —
+/// [`Segment::decode_view`] produces it without allocating, and the
+/// socket's input path consumes it directly, so the steady-state rx
+/// path never copies payload bytes until they land in the receive
+/// buffer. [`SegmentView::to_owned`] materialises a [`Segment`] for
+/// the rare paths that must store one (listener, adversary, queues).
+#[derive(Clone, Copy, Debug)]
+pub struct SegmentView<'a> {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Sequence number of the first payload byte (or of SYN/FIN).
+    pub seq: TcpSeq,
+    /// Acknowledgment number (valid when ACK flag set).
+    pub ack: TcpSeq,
+    /// Control flags.
+    pub flags: Flags,
+    /// Advertised receive window.
+    pub window: u16,
+    /// MSS option (SYN segments only).
+    pub mss: Option<u16>,
+    /// SACK-permitted option (SYN segments only).
+    pub sack_permitted: bool,
+    /// Decoded SACK blocks, stored inline (no heap).
+    sack_buf: [SackBlock; MAX_SACK_BLOCKS],
+    sack_len: u8,
+    /// Timestamps option.
+    pub timestamps: Option<Timestamps>,
+    /// Payload bytes, borrowed from the wire buffer.
+    pub payload: &'a [u8],
+}
+
+impl<'a> SegmentView<'a> {
+    /// The decoded SACK blocks.
+    pub fn sack_blocks(&self) -> &[SackBlock] {
+        &self.sack_buf[..usize::from(self.sack_len)]
+    }
+
+    /// Sequence space the segment occupies (payload + SYN + FIN).
+    pub fn seq_len(&self) -> u32 {
+        let mut n = self.payload.len() as u32;
+        if self.flags.contains(Flags::SYN) {
+            n += 1;
+        }
+        if self.flags.contains(Flags::FIN) {
+            n += 1;
+        }
+        n
+    }
+
+    /// Materialises an owned [`Segment`] (copies the payload).
+    pub fn to_owned(&self) -> Segment {
+        Segment {
+            src_port: self.src_port,
+            dst_port: self.dst_port,
+            seq: self.seq,
+            ack: self.ack,
+            flags: self.flags,
+            window: self.window,
+            mss: self.mss,
+            sack_permitted: self.sack_permitted,
+            sack_blocks: self.sack_blocks().to_vec(),
+            timestamps: self.timestamps,
+            payload: self.payload.to_vec(),
+        }
+    }
+}
+
 /// A decoded (or to-be-encoded) TCP segment header plus payload.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Segment {
@@ -186,17 +257,50 @@ impl Segment {
         TCP_HEADER_LEN + self.options_len() + self.payload.len()
     }
 
-    /// Encodes the segment, computing the checksum over the IPv6
-    /// pseudo-header for `src`/`dst`.
-    pub fn encode(&self, src: Ipv6Addr, dst: Ipv6Addr) -> Vec<u8> {
+    /// A borrowed view of this segment (for feeding the socket's
+    /// zero-copy input path with an owned segment in hand).
+    pub fn view(&self) -> SegmentView<'_> {
+        let mut sack_buf = [SackBlock {
+            start: TcpSeq(0),
+            end: TcpSeq(0),
+        }; MAX_SACK_BLOCKS];
+        let n = self.sack_blocks.len().min(MAX_SACK_BLOCKS);
+        sack_buf[..n].copy_from_slice(&self.sack_blocks[..n]);
+        SegmentView {
+            src_port: self.src_port,
+            dst_port: self.dst_port,
+            seq: self.seq,
+            ack: self.ack,
+            flags: self.flags,
+            window: self.window,
+            mss: self.mss,
+            sack_permitted: self.sack_permitted,
+            sack_buf,
+            sack_len: n as u8,
+            timestamps: self.timestamps,
+            payload: &self.payload,
+        }
+    }
+
+    /// Encodes the segment into `out` (cleared first), computing the
+    /// RFC 1071 checksum over the IPv6 pseudo-header for `src`/`dst`
+    /// in the same pass: the header/option area is summed once as it
+    /// is finished, and the payload is summed word-at-a-time right
+    /// after it is appended, while the bytes are hot — there is no
+    /// whole-segment checksum re-walk. `out` is a caller-owned scratch
+    /// buffer meant to be pooled and reused across segments; its
+    /// capacity is retained between calls.
+    pub fn encode_into(&self, src: Ipv6Addr, dst: Ipv6Addr, out: &mut Vec<u8>) {
+        out.clear();
         let opt_len = self.options_len();
-        let data_off_words = (TCP_HEADER_LEN + opt_len) / 4;
-        let mut out = Vec::with_capacity(self.wire_len());
+        let data_off = TCP_HEADER_LEN + opt_len;
+        let total = data_off + self.payload.len();
+        out.reserve(total);
         out.extend_from_slice(&self.src_port.to_be_bytes());
         out.extend_from_slice(&self.dst_port.to_be_bytes());
         out.extend_from_slice(&self.seq.0.to_be_bytes());
         out.extend_from_slice(&self.ack.0.to_be_bytes());
-        out.push((data_off_words as u8) << 4);
+        out.push(((data_off / 4) as u8) << 4);
         out.push(self.flags.0);
         out.extend_from_slice(&self.window.to_be_bytes());
         out.extend_from_slice(&[0, 0]); // checksum placeholder
@@ -223,23 +327,35 @@ impl Segment {
                 out.extend_from_slice(&b.end.0.to_be_bytes());
             }
         }
-        while out.len() < TCP_HEADER_LEN + opt_len {
+        while out.len() < data_off {
             out.push(1); // NOP padding
         }
 
-        out.extend_from_slice(&self.payload);
-
         let mut ck = Checksum::new();
-        ck.add_pseudo_header(src, dst, 6, out.len() as u32);
-        ck.add_bytes(&out);
+        ck.add_pseudo_header(src, dst, 6, total as u32);
+        ck.add_bytes(out); // header + options (even length: data_off % 4 == 0)
+        out.extend_from_slice(&self.payload);
+        ck.add_bytes(&self.payload);
         let c = ck.finish();
         out[16..18].copy_from_slice(&c.to_be_bytes());
+    }
+
+    /// Encodes the segment into a fresh buffer. Allocation-churn
+    /// convenience wrapper over [`Segment::encode_into`]; the datapath
+    /// uses `encode_into` with a pooled buffer.
+    pub fn encode(&self, src: Ipv6Addr, dst: Ipv6Addr) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode_into(src, dst, &mut out);
         out
     }
 
-    /// Decodes and checksum-verifies a segment. Returns `None` on any
-    /// malformation (short header, bad offset, bad checksum).
-    pub fn decode(src: Ipv6Addr, dst: Ipv6Addr, bytes: &[u8]) -> Option<Segment> {
+    /// Decodes and checksum-verifies a segment without copying the
+    /// payload: the returned view borrows its payload slice from
+    /// `bytes`. Returns `None` on any malformation (short header, bad
+    /// offset, bad checksum, malformed options) — the acceptance rules
+    /// are exactly those of [`Segment::decode`], which is a wrapper
+    /// over this.
+    pub fn decode_view(src: Ipv6Addr, dst: Ipv6Addr, bytes: &[u8]) -> Option<SegmentView<'_>> {
         if bytes.len() < TCP_HEADER_LEN {
             return None;
         }
@@ -256,7 +372,7 @@ impl Segment {
         {
             return None;
         }
-        let mut seg = Segment {
+        let mut seg = SegmentView {
             src_port: u16::from_be_bytes([bytes[0], bytes[1]]),
             dst_port: u16::from_be_bytes([bytes[2], bytes[3]]),
             seq: TcpSeq(u32::from_be_bytes([bytes[4], bytes[5], bytes[6], bytes[7]])),
@@ -265,9 +381,13 @@ impl Segment {
             window: u16::from_be_bytes([bytes[14], bytes[15]]),
             mss: None,
             sack_permitted: false,
-            sack_blocks: Vec::new(),
+            sack_buf: [SackBlock {
+                start: TcpSeq(0),
+                end: TcpSeq(0),
+            }; MAX_SACK_BLOCKS],
+            sack_len: 0,
             timestamps: None,
-            payload: bytes[data_off..].to_vec(),
+            payload: &bytes[data_off..],
         };
         // Options.
         let mut opts = &bytes[TCP_HEADER_LEN..data_off];
@@ -302,13 +422,14 @@ impl Segment {
                             // repeated SACK option cannot grow the
                             // decoded segment beyond a fixed bound.
                             for ch in body.chunks_exact(8) {
-                                if seg.sack_blocks.len() >= MAX_SACK_BLOCKS {
+                                if usize::from(seg.sack_len) >= MAX_SACK_BLOCKS {
                                     break;
                                 }
-                                seg.sack_blocks.push(SackBlock {
+                                seg.sack_buf[usize::from(seg.sack_len)] = SackBlock {
                                     start: TcpSeq(u32::from_be_bytes(ch[0..4].try_into().unwrap())),
                                     end: TcpSeq(u32::from_be_bytes(ch[4..8].try_into().unwrap())),
-                                });
+                                };
+                                seg.sack_len += 1;
                             }
                         }
                         _ => {} // unknown option: skip
@@ -318,6 +439,14 @@ impl Segment {
             }
         }
         Some(seg)
+    }
+
+    /// Decodes and checksum-verifies a segment into an owned
+    /// [`Segment`] (copies the payload). Wrapper over
+    /// [`Segment::decode_view`] — acceptance semantics are identical
+    /// by construction.
+    pub fn decode(src: Ipv6Addr, dst: Ipv6Addr, bytes: &[u8]) -> Option<Segment> {
+        Segment::decode_view(src, dst, bytes).map(|v| v.to_owned())
     }
 }
 
@@ -511,6 +640,46 @@ mod tests {
         assert!(Segment::decode(src, dst, &[0u8; 10]).is_none());
         let enc = full_segment().encode(src, dst);
         assert!(Segment::decode(src, dst, &enc[..19]).is_none());
+    }
+
+    #[test]
+    fn encode_into_reused_buffer_matches_fresh_encode() {
+        let (src, dst) = addrs();
+        let mut buf = Vec::new();
+        // Reuse one scratch buffer across differently-sized segments;
+        // every encoding must be byte-identical to a fresh encode.
+        let mut small = Segment::new(9, 10, TcpSeq(1), TcpSeq(2), Flags::ACK);
+        small.payload = vec![0x11; 8];
+        let big = full_segment();
+        for seg in [&big, &small, &big] {
+            seg.encode_into(src, dst, &mut buf);
+            assert_eq!(buf, seg.encode(src, dst));
+        }
+    }
+
+    #[test]
+    fn decode_view_matches_owned_decode() {
+        let (src, dst) = addrs();
+        let seg = full_segment();
+        let enc = seg.encode(src, dst);
+        let view = Segment::decode_view(src, dst, &enc).expect("decodes");
+        assert_eq!(view.to_owned(), seg);
+        assert_eq!(view.payload, &seg.payload[..]);
+        assert_eq!(view.sack_blocks(), &seg.sack_blocks[..]);
+        assert_eq!(view.seq_len(), seg.seq_len());
+        // Corrupt -> both reject.
+        let mut bad = enc.clone();
+        bad[30] ^= 0x01;
+        assert!(Segment::decode_view(src, dst, &bad).is_none());
+        assert!(Segment::decode(src, dst, &bad).is_none());
+    }
+
+    #[test]
+    fn view_of_owned_segment_roundtrips() {
+        let seg = full_segment();
+        let v = seg.view();
+        assert_eq!(v.to_owned(), seg);
+        assert_eq!(v.seq_len(), seg.seq_len());
     }
 
     #[test]

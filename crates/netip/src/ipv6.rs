@@ -115,6 +115,21 @@ impl Ipv6Header {
         }
     }
 
+    /// True when `other` describes the same flow: every field equal
+    /// except `payload_len`. This is the cache key used by IPHC header
+    /// caching — the compressed header bytes depend on exactly these
+    /// fields (IPHC never encodes the payload length; it is recovered
+    /// from the frame length).
+    pub fn same_flow(&self, other: &Ipv6Header) -> bool {
+        self.dscp == other.dscp
+            && self.ecn == other.ecn
+            && self.flow_label == other.flow_label
+            && self.next_header == other.next_header
+            && self.hop_limit == other.hop_limit
+            && self.src == other.src
+            && self.dst == other.dst
+    }
+
     /// Encodes into 40 bytes.
     pub fn encode(&self) -> [u8; IPV6_HEADER_LEN] {
         let mut b = [0u8; IPV6_HEADER_LEN];

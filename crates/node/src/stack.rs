@@ -16,7 +16,7 @@ use lln_netip::{BoundedDeque, Ecn, FifoQueue, Ipv6Addr, Ipv6Header, NodeId, RedC
 use lln_phy::medium::TxHandle;
 use lln_sim::stats::Counters;
 use lln_sim::{Duration, EventToken, Instant};
-use lln_sixlowpan::{Reassembler, ReassemblyLimits};
+use lln_sixlowpan::{IphcCache, Reassembler, ReassemblyLimits};
 use lln_uip::UipSocket;
 use std::collections::{HashMap, HashSet, VecDeque};
 use tcplp::mem::{IP_OVERHEAD_BYTES, MAC_FRAME_BYTES};
@@ -63,6 +63,39 @@ pub struct TransportStack {
     pub coap_client: Option<CoapClient>,
     /// CoAP server (cloud side).
     pub coap_server: Option<CoapServer>,
+}
+
+/// Free-list of reusable byte buffers for the per-segment datapath:
+/// TCP segments encode into a pooled buffer, the buffer rides the IP
+/// queue as the packet payload, and [`BufPool::put`] recycles it after
+/// the 6LoWPAN layer compresses it into a frame. Steady-state transfers
+/// therefore stop allocating per segment.
+#[derive(Debug, Default)]
+pub struct BufPool {
+    free: Vec<Vec<u8>>,
+}
+
+/// Buffers retained in the free list; beyond this they just drop.
+const BUF_POOL_CAP: usize = 16;
+
+impl BufPool {
+    /// Pops a cleared buffer, or a fresh one when the pool is empty.
+    pub fn take(&mut self) -> Vec<u8> {
+        self.free
+            .pop()
+            .map(|mut v| {
+                v.clear();
+                v
+            })
+            .unwrap_or_default()
+    }
+
+    /// Returns a buffer to the pool (capacity kept, contents ignored).
+    pub fn put(&mut self, buf: Vec<u8>) {
+        if self.free.len() < BUF_POOL_CAP {
+            self.free.push(buf);
+        }
+    }
 }
 
 /// A packet waiting at the IP layer.
@@ -251,6 +284,14 @@ pub struct Node {
     /// Application.
     pub app: App,
 
+    // --- datapath fast path ---
+    /// Reusable segment/packet buffers (see [`BufPool`]).
+    pub seg_bufs: BufPool,
+    /// Per-neighbor IPHC compressed-header cache (tx fast path).
+    pub iphc_cache: IphcCache,
+    /// Scratch the IPHC compressor writes into, reused per packet.
+    pub compress_buf: Vec<u8>,
+
     // --- accounting ---
     /// Energy meter.
     pub meter: EnergyMeter,
@@ -308,6 +349,9 @@ impl Node {
             transport_timer: None,
             supervisor: None,
             app: App::None,
+            seg_bufs: BufPool::default(),
+            iphc_cache: IphcCache::new(),
+            compress_buf: Vec::new(),
             meter,
             counters: Counters::new(),
             governor: MemGovernor::new(budget.clone()),

@@ -898,17 +898,25 @@ impl World {
         });
     }
 
-    /// Fragments `pkt` into MAC frames bound for its next hop.
+    /// Fragments `pkt` into MAC frames bound for its next hop. The
+    /// compressed packet is built in the node's reusable scratch buffer
+    /// via the per-neighbor IPHC header cache, and the payload buffer
+    /// is recycled into the pool once its bytes are framed.
     fn fragment_packet(&mut self, i: usize, pkt: OutPacket) {
         let src_l2 = self.nodes[i].id;
         let dst_l2 = pkt.next_hop;
-        let compressed = iphc::compress(&pkt.hdr, src_l2, dst_l2, &pkt.payload);
+        let mut compressed = std::mem::take(&mut self.nodes[i].compress_buf);
+        self.nodes[i]
+            .iphc_cache
+            .compress_into(&pkt.hdr, src_l2, dst_l2, &pkt.payload, &mut compressed);
         let tag = self.nodes[i].next_tag();
         for frag in fragment(&compressed, tag, MAX_MAC_PAYLOAD) {
             let seq = self.nodes[i].next_seq();
             let f = self.pool.alloc(MacFrame::data(src_l2, dst_l2, seq, frag.bytes));
             self.nodes[i].cur_packet_frames.push_back(f);
         }
+        self.nodes[i].compress_buf = compressed;
+        self.nodes[i].seg_bufs.put(pkt.payload);
         self.nodes[i].counters.inc("packets_tx");
     }
 
@@ -1155,9 +1163,9 @@ impl World {
                     .offer(frame.src, &frame.payload, now);
                 if let Some(packet) = done {
                     if let Some((hdr, payload)) =
-                        iphc::decompress(&packet, frame.src, frame.dst)
+                        iphc::decompress_view(&packet, frame.src, frame.dst)
                     {
-                        self.handle_ip_packet(i, hdr, payload, now);
+                        self.handle_ip_view(i, hdr, payload, now);
                     } else {
                         self.nodes[i].counters.inc("decompress_errors");
                     }
@@ -1295,7 +1303,10 @@ impl World {
         let src_l2 = self.nodes[i].id;
         let last = packets.len() - 1;
         for (k, pkt) in packets.into_iter().enumerate() {
-            let compressed = iphc::compress(&pkt.hdr, src_l2, child, &pkt.payload);
+            let mut compressed = std::mem::take(&mut self.nodes[i].compress_buf);
+            self.nodes[i]
+                .iphc_cache
+                .compress_into(&pkt.hdr, src_l2, child, &pkt.payload, &mut compressed);
             let tag = self.nodes[i].next_tag();
             for frag in fragment(&compressed, tag, MAX_MAC_PAYLOAD) {
                 let seq = self.nodes[i].next_seq();
@@ -1304,6 +1315,8 @@ impl World {
                 let buf = self.pool.alloc(f);
                 self.nodes[i].enqueue_ctrl(buf);
             }
+            self.nodes[i].compress_buf = compressed;
+            self.nodes[i].seg_bufs.put(pkt.payload);
         }
         self.sync_governor(i);
         self.kick_mac(i, now);
@@ -1379,27 +1392,50 @@ impl World {
         self.kick_mac(i, now);
     }
 
-    /// A full IP packet arrived at node `i` (radio or wired).
-    fn handle_ip_packet(
+    /// A full IP packet arrived at node `i` with an owned payload
+    /// (wired links and other already-materialized paths).
+    fn handle_ip_packet(&mut self, i: usize, hdr: Ipv6Header, payload: Vec<u8>, now: Instant) {
+        if hdr.dst == self.nodes[i].ip_addr() {
+            self.trace_deliver(i, &hdr, &payload, now);
+            self.deliver_transport(i, hdr, &payload, now);
+            return;
+        }
+        self.forward_ip(i, hdr, payload, now);
+    }
+
+    /// A full IP packet arrived over the radio: the payload may borrow
+    /// the reassembled packet buffer. Local delivery consumes the
+    /// borrowed slice directly — the per-segment copy the owned path
+    /// would make never happens; only the forwarding path (which must
+    /// queue the bytes) materializes a `Vec`.
+    fn handle_ip_view(
         &mut self,
         i: usize,
-        mut hdr: Ipv6Header,
-        payload: Vec<u8>,
+        hdr: Ipv6Header,
+        payload: iphc::Payload<'_>,
         now: Instant,
     ) {
         if hdr.dst == self.nodes[i].ip_addr() {
-            if self.trace.is_enabled() {
-                self.trace.record(
-                    now,
-                    self.nodes[i].id,
-                    crate::trace::TraceDir::Deliver,
-                    crate::trace::summarize_packet(&hdr, &payload),
-                );
-            }
-            self.deliver_transport(i, hdr, payload, now);
+            self.trace_deliver(i, &hdr, payload.as_slice(), now);
+            self.deliver_transport(i, hdr, payload.as_slice(), now);
             return;
         }
-        // Forwarding.
+        self.forward_ip(i, hdr, payload.into_vec(), now);
+    }
+
+    fn trace_deliver(&mut self, i: usize, hdr: &Ipv6Header, payload: &[u8], now: Instant) {
+        if self.trace.is_enabled() {
+            self.trace.record(
+                now,
+                self.nodes[i].id,
+                crate::trace::TraceDir::Deliver,
+                crate::trace::summarize_packet(hdr, payload),
+            );
+        }
+    }
+
+    /// Forwards a non-local packet toward its next hop.
+    fn forward_ip(&mut self, i: usize, mut hdr: Ipv6Header, payload: Vec<u8>, now: Instant) {
         if hdr.hop_limit <= 1 {
             self.nodes[i].counters.inc("hop_limit_drops");
             self.trace.record(
@@ -1438,11 +1474,11 @@ impl World {
     // Transport layer
     // ------------------------------------------------------------------
 
-    fn deliver_transport(&mut self, i: usize, hdr: Ipv6Header, payload: Vec<u8>, now: Instant) {
+    fn deliver_transport(&mut self, i: usize, hdr: Ipv6Header, payload: &[u8], now: Instant) {
         self.nodes[i].meter.add_cpu(self.cfg.cpu_per_segment);
         match hdr.next_header {
-            NextHeader::Tcp => self.deliver_tcp(i, &hdr, &payload, now),
-            NextHeader::Udp => self.deliver_udp(i, &hdr, &payload, now),
+            NextHeader::Tcp => self.deliver_tcp(i, &hdr, payload, now),
+            NextHeader::Udp => self.deliver_udp(i, &hdr, payload, now),
             NextHeader::Other(_) => {
                 self.nodes[i].counters.inc("unknown_proto");
             }
@@ -1451,11 +1487,16 @@ impl World {
     }
 
     fn deliver_tcp(&mut self, i: usize, hdr: &Ipv6Header, payload: &[u8], now: Instant) {
-        let Some(seg) = Segment::decode(hdr.src, hdr.dst, payload) else {
+        // Copy-free decode: the parsed view borrows `payload` and the
+        // socket ingests straight from the slice. Only the rare paths
+        // (adversary interposition, listener, uIP, RST) materialize an
+        // owned segment.
+        let Some(view) = Segment::decode_view(hdr.src, hdr.dst, payload) else {
             self.nodes[i].counters.inc("tcp_checksum_drops");
             return;
         };
         if self.nodes[i].adversary.is_some() {
+            let seg = view.to_owned();
             // Temporarily take the adversary so it can borrow its RNG
             // while we hold `self` for scheduling.
             let mut adv = self.nodes[i].adversary.take().expect("checked");
@@ -1488,7 +1529,31 @@ impl World {
             }
             return;
         }
-        self.dispatch_tcp_segment(i, hdr, &seg, now);
+        self.dispatch_tcp_view(i, hdr, view, now);
+    }
+
+    /// View-based dispatch: segments for an established socket are
+    /// handed over without ever owning the payload; everything else
+    /// falls back to the owned slow path.
+    fn dispatch_tcp_view(
+        &mut self,
+        i: usize,
+        hdr: &Ipv6Header,
+        seg: tcplp::SegmentView<'_>,
+        now: Instant,
+    ) {
+        let ecn = hdr.ecn;
+        let found = self.nodes[i].transport.tcp.iter_mut().find(|s| {
+            let (raddr, rport) = s.remote();
+            raddr == hdr.src && rport == seg.src_port && s.local().1 == seg.dst_port
+        });
+        if let Some(sock) = found {
+            sock.tick(now);
+            sock.on_segment_view(seg, ecn, now);
+            return;
+        }
+        let owned = seg.to_owned();
+        self.dispatch_tcp_slow(i, hdr, &owned, now);
     }
 
     /// Adversary-scheduled bytes arriving at the transport: decode and
@@ -1505,9 +1570,9 @@ impl World {
     }
 
     /// Hands a decoded segment to the owning socket (or the listener,
-    /// the uIP socket, or the RST generator).
+    /// the uIP socket, or the RST generator). Owned-segment entry point
+    /// for the adversary and flooder paths.
     fn dispatch_tcp_segment(&mut self, i: usize, hdr: &Ipv6Header, seg: &Segment, now: Instant) {
-        let seg = seg.clone();
         let ecn = hdr.ecn;
         // Match an existing socket.
         let found = self.nodes[i].transport.tcp.iter_mut().find(|s| {
@@ -1516,9 +1581,15 @@ impl World {
         });
         if let Some(sock) = found {
             sock.tick(now);
-            sock.on_segment(&seg, ecn, now);
+            sock.on_segment(seg, ecn, now);
             return;
         }
+        self.dispatch_tcp_slow(i, hdr, seg, now);
+    }
+
+    /// Non-socket TCP traffic: the listener (SYN cache), the uIP
+    /// socket, or the RST generator.
+    fn dispatch_tcp_slow(&mut self, i: usize, hdr: &Ipv6Header, seg: &Segment, now: Instant) {
         // Listener? All passive-open traffic goes through the bounded
         // SYN cache; the full socket exists only after the completing
         // ACK — and only if the TCP-buffer budget admits it.
@@ -1563,7 +1634,7 @@ impl World {
                 .unwrap_or_default();
             let l = self.nodes[i].transport.tcp_listener.as_mut().unwrap();
             l.sync_backlog(live);
-            let resp = l.on_segment(hdr.src, &seg, iss, now);
+            let resp = l.on_segment(hdr.src, seg, iss, now);
             self.mirror_listener_stats(i, &before);
             match resp {
                 ListenerResponse::Reply(reply) => {
@@ -1606,12 +1677,12 @@ impl World {
         if let Some(u) = self.nodes[i].transport.uip.as_mut() {
             let (raddr, rport) = u.remote();
             if raddr == hdr.src && rport == seg.src_port && u.local().1 == seg.dst_port {
-                u.on_segment(&seg, now);
+                u.on_segment(seg, now);
                 return;
             }
         }
         // No socket: RST.
-        if let Some(rst) = tcplp::reset_for(&seg) {
+        if let Some(rst) = tcplp::reset_for(seg) {
             let out_hdr = Ipv6Header::new(
                 hdr.dst,
                 hdr.src,
@@ -1735,9 +1806,12 @@ impl World {
         // detect deaths, and install reconnect attempts.
         self.supervise(i, now);
 
-        // TCP sockets.
+        // TCP sockets. Segments encode (serialize + checksum in one
+        // pass) into pooled buffers; the buffer returns to the pool
+        // when the 6LoWPAN layer frames the packet.
         let my_addr = self.nodes[i].ip_addr();
         let mut out: Vec<(Ipv6Header, Vec<u8>)> = Vec::new();
+        let mut seg_bufs = std::mem::take(&mut self.nodes[i].seg_bufs);
         for s in self.nodes[i].transport.tcp.iter_mut() {
             let ecn_data = s.ecn_active();
             while let Some(seg) = s.poll_transmit(now) {
@@ -1747,7 +1821,8 @@ impl World {
                 if ecn_data && !seg.payload.is_empty() {
                     hdr.ecn = Ecn::Ect0;
                 }
-                let bytes = seg.encode(my_addr, raddr);
+                let mut bytes = seg_bufs.take();
+                seg.encode_into(my_addr, raddr, &mut bytes);
                 out.push((hdr, bytes));
             }
         }
@@ -1761,7 +1836,8 @@ impl World {
             while let Some((peer, synack)) = l.poll_transmit(now) {
                 let hdr =
                     Ipv6Header::new(my_addr, peer, NextHeader::Tcp, synack.wire_len() as u16);
-                let bytes = synack.encode(my_addr, peer);
+                let mut bytes = seg_bufs.take();
+                synack.encode_into(my_addr, peer, &mut bytes);
                 out.push((hdr, bytes));
             }
         }
@@ -1779,10 +1855,12 @@ impl World {
                 let (raddr, _) = u.remote();
                 let hdr =
                     Ipv6Header::new(my_addr, raddr, NextHeader::Tcp, seg.wire_len() as u16);
-                let bytes = seg.encode(my_addr, raddr);
+                let mut bytes = seg_bufs.take();
+                seg.encode_into(my_addr, raddr, &mut bytes);
                 out.push((hdr, bytes));
             }
         }
+        self.nodes[i].seg_bufs = seg_bufs;
         // CoAP client.
         if self.nodes[i].transport.coap_client.is_some() {
             let cloud_addr = self.cloud.map(|c| self.nodes[c].ip_addr());

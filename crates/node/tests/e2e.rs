@@ -42,6 +42,19 @@ fn single_hop_bulk_transfer_reaches_paper_range() {
         goodput > 45_000.0 && goodput < 85_000.0,
         "single-hop goodput {goodput:.0} b/s outside the paper's ballpark"
     );
+    // Header prediction must carry the steady state: the receiver's
+    // in-order data and the sender's pure ACKs overwhelmingly take the
+    // short paths (FreeBSD-style "taken" counters, not just matches).
+    let sender = &world.nodes[1].transport.tcp[0].stats;
+    let receiver = &world.nodes[0].transport.tcp[0].stats;
+    assert!(
+        sender.predicted_acks > 0,
+        "sender took no pure-ACK fast paths in a clean bulk transfer"
+    );
+    assert!(
+        receiver.predicted_data > 0,
+        "receiver took no in-order-data fast paths in a clean bulk transfer"
+    );
 }
 
 #[test]

@@ -34,21 +34,20 @@ fn prefix_for_context(cid: u8) -> Option<[u8; 8]> {
     }
 }
 
-/// Address compression outcome: how many bytes, which mode bits.
-fn compress_addr(addr: Ipv6Addr, l2: Option<NodeId>) -> (u8, u8, Vec<u8>) {
-    // Returns (ac_bit, am_bits, inline bytes); context id handled by
-    // the caller (we use one CID byte whenever any context is used).
+/// Address compression mode: context/stateless bits plus how much of
+/// the address rides inline (emitted by the caller — no allocation).
+struct AddrMode {
+    ac: u8,
+    am: u8,
+    ctx: u8,
+}
+
+fn addr_mode(addr: Ipv6Addr, l2: NodeId) -> AddrMode {
     if let Some(ctx) = context_for_prefix(addr.prefix()) {
-        let derived = l2.map(|n| n.iid()) == Some(addr.iid());
-        if derived {
-            (1, 0b11, vec![ctx]) // fully elided; inline vec carries ctx id marker
-        } else {
-            let mut v = vec![ctx];
-            v.extend_from_slice(&addr.iid());
-            (1, 0b01, v)
-        }
+        let am = if l2.iid() == addr.iid() { 0b11 } else { 0b01 };
+        AddrMode { ac: 1, am, ctx }
     } else {
-        (0, 0b00, addr.0.to_vec())
+        AddrMode { ac: 0, am: 0b00, ctx: 0 }
     }
 }
 
@@ -64,6 +63,23 @@ pub fn compress(
     payload: &[u8],
 ) -> Vec<u8> {
     let mut out = Vec::with_capacity(payload.len() + 8);
+    compress_into(hdr, src_l2, dst_l2, payload, &mut out);
+    out
+}
+
+/// Single-pass variant of [`compress`]: serializes the compressed
+/// headers and payload straight into `out` (cleared first), with no
+/// intermediate allocations. Reusing `out` across packets makes the
+/// per-segment tx path allocation-free.
+pub fn compress_into(
+    hdr: &Ipv6Header,
+    src_l2: NodeId,
+    dst_l2: NodeId,
+    payload: &[u8],
+    out: &mut Vec<u8>,
+) {
+    out.clear();
+    out.reserve(payload.len() + 8);
     // Base: 011 TF NH HLIM
     let tc = (hdr.dscp << 2) | hdr.ecn.bits();
     let tf = if tc == 0 && hdr.flow_label == 0 {
@@ -82,18 +98,16 @@ pub fn compress(
         255 => 0b11,
         _ => 0b00,
     };
-    let (sac, sam, src_inline) = compress_addr(hdr.src, Some(src_l2));
-    let (dac, dam, dst_inline) = compress_addr(hdr.dst, Some(dst_l2));
-    let cid = sac == 1 || dac == 1;
+    let s = addr_mode(hdr.src, src_l2);
+    let d = addr_mode(hdr.dst, dst_l2);
+    let cid = s.ac == 1 || d.ac == 1;
 
     let b0 = 0b0110_0000 | (tf << 3) | (nh_bit << 2) | hlim;
-    let b1 = (u8::from(cid) << 7) | (sac << 6) | (sam << 4) | (dac << 2) | dam;
+    let b1 = (u8::from(cid) << 7) | (s.ac << 6) | (s.am << 4) | (d.ac << 2) | d.am;
     out.push(b0);
     out.push(b1);
     if cid {
-        let sci = if sac == 1 { src_inline[0] } else { 0 };
-        let dci = if dac == 1 { dst_inline[0] } else { 0 };
-        out.push((sci << 4) | dci);
+        out.push((s.ctx << 4) | d.ctx);
     }
     match tf {
         0b10 => out.push(tc),
@@ -112,15 +126,15 @@ pub fn compress(
         out.push(hdr.hop_limit);
     }
     // Source address inline part.
-    match (sac, sam) {
+    match (s.ac, s.am) {
         (1, 0b11) => {}
-        (1, 0b01) => out.extend_from_slice(&src_inline[1..]),
-        _ => out.extend_from_slice(&src_inline),
+        (1, 0b01) => out.extend_from_slice(&hdr.src.iid()),
+        _ => out.extend_from_slice(&hdr.src.0),
     }
-    match (dac, dam) {
+    match (d.ac, d.am) {
         (1, 0b11) => {}
-        (1, 0b01) => out.extend_from_slice(&dst_inline[1..]),
-        _ => out.extend_from_slice(&dst_inline),
+        (1, 0b01) => out.extend_from_slice(&hdr.dst.iid()),
+        _ => out.extend_from_slice(&hdr.dst.0),
     }
 
     if nhc_udp {
@@ -142,7 +156,6 @@ pub fn compress(
     } else {
         out.extend_from_slice(payload);
     }
-    out
 }
 
 /// Encodes a packet without compression (dispatch + raw IPv6 header).
@@ -193,6 +206,36 @@ fn decompress_addr(
     }
 }
 
+/// Decompressed transport payload: borrowed straight out of the packet
+/// buffer when no byte reconstruction was needed (TCP and any other
+/// non-NHC next header — the common case), owned only when the UDP NHC
+/// header had to be rebuilt in front of the payload.
+#[derive(Debug)]
+pub enum Payload<'a> {
+    /// A slice of the original packet buffer — zero copies made.
+    Borrowed(&'a [u8]),
+    /// Reconstructed bytes (UDP NHC re-expands the 8-byte header).
+    Owned(Vec<u8>),
+}
+
+impl Payload<'_> {
+    /// The payload bytes, however they are held.
+    pub fn as_slice(&self) -> &[u8] {
+        match self {
+            Payload::Borrowed(b) => b,
+            Payload::Owned(v) => v,
+        }
+    }
+
+    /// Converts to an owned `Vec`, copying only if borrowed.
+    pub fn into_vec(self) -> Vec<u8> {
+        match self {
+            Payload::Borrowed(b) => b.to_vec(),
+            Payload::Owned(v) => v,
+        }
+    }
+}
+
 /// Decompresses a 6LoWPAN packet produced by [`compress`] (or the
 /// uncompressed fallback). `src_l2`/`dst_l2` are the frame's link-layer
 /// addresses, needed to reconstruct elided IIDs. Returns the rebuilt
@@ -203,13 +246,25 @@ pub fn decompress(
     src_l2: NodeId,
     dst_l2: NodeId,
 ) -> Option<(Ipv6Header, Vec<u8>)> {
+    decompress_view(packet, src_l2, dst_l2).map(|(h, p)| (h, p.into_vec()))
+}
+
+/// Copy-free variant of [`decompress`]: the returned [`Payload`]
+/// borrows the packet buffer whenever no reconstruction is required,
+/// so the rx path can hand the transport layer a slice without a
+/// per-segment allocation.
+pub fn decompress_view<'a>(
+    packet: &'a [u8],
+    src_l2: NodeId,
+    dst_l2: NodeId,
+) -> Option<(Ipv6Header, Payload<'a>)> {
     let mut b = packet;
     if b.is_empty() {
         return None;
     }
     if b[0] == DISPATCH_IPV6 {
         let hdr = Ipv6Header::decode(&b[1..41.min(b.len())])?;
-        return Some((hdr, b[41..].to_vec()));
+        return Some((hdr, Payload::Borrowed(&b[41..])));
     }
     if b.len() < 2 || b[0] >> 5 != 0b011 {
         return None;
@@ -283,7 +338,7 @@ pub fn decompress(
     let dst = decompress_addr(dac, dam, Some(dci), Some(dst_l2), &mut b)?;
 
     let (next_header, payload) = match next_header {
-        Some(nh) => (nh, b.to_vec()),
+        Some(nh) => (nh, Payload::Borrowed(b)),
         None => {
             // UDP NHC.
             if b.is_empty() || b[0] & 0b1111_1000 != 0b1111_0000 {
@@ -326,7 +381,7 @@ pub fn decompress(
             payload.extend_from_slice(&udp_len.to_be_bytes());
             payload.extend_from_slice(&cksum);
             payload.extend_from_slice(b);
-            (NextHeader::Udp, payload)
+            (NextHeader::Udp, Payload::Owned(payload))
         }
     };
 
@@ -334,13 +389,94 @@ pub fn decompress(
         dscp: tc >> 2,
         ecn: Ecn::from_bits(tc),
         flow_label,
-        payload_len: payload.len() as u16,
+        payload_len: payload.as_slice().len() as u16,
         next_header,
         hop_limit,
         src,
         dst,
     };
     Some((hdr, payload))
+}
+
+/// Per-neighbor compressed-header cache. Steady-state TCP traffic to a
+/// given next hop repeats the same IPv6 header (modulo payload length,
+/// which IPHC never encodes), so the compressed header bytes can be
+/// replayed instead of recomputed per segment. Gated to non-UDP next
+/// headers: UDP NHC folds payload bytes into the header, so its output
+/// is not a pure function of the [`Ipv6Header`].
+///
+/// Keyed on `(src_l2, dst_l2)` with [`Ipv6Header::same_flow`] deciding
+/// hits; a handful of entries covers a node's neighbor set.
+#[derive(Debug, Default)]
+pub struct IphcCache {
+    entries: Vec<CacheEntry>,
+    hits: u64,
+    misses: u64,
+}
+
+#[derive(Debug)]
+struct CacheEntry {
+    src_l2: NodeId,
+    dst_l2: NodeId,
+    hdr: Ipv6Header,
+    bytes: Vec<u8>,
+}
+
+/// Neighbor-pair entries retained; oldest is replaced beyond this.
+const IPHC_CACHE_CAP: usize = 8;
+
+impl IphcCache {
+    /// A fresh, empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `(hits, misses)` since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Like [`compress_into`], but replays cached header bytes when the
+    /// same flow was compressed to the same neighbor before. Output is
+    /// byte-identical to the uncached path in all cases.
+    pub fn compress_into(
+        &mut self,
+        hdr: &Ipv6Header,
+        src_l2: NodeId,
+        dst_l2: NodeId,
+        payload: &[u8],
+        out: &mut Vec<u8>,
+    ) {
+        if hdr.next_header == NextHeader::Udp {
+            // NHC consumes payload bytes; not cacheable.
+            compress_into(hdr, src_l2, dst_l2, payload, out);
+            return;
+        }
+        if let Some(e) = self
+            .entries
+            .iter()
+            .find(|e| e.src_l2 == src_l2 && e.dst_l2 == dst_l2 && e.hdr.same_flow(hdr))
+        {
+            self.hits += 1;
+            out.clear();
+            out.reserve(e.bytes.len() + payload.len());
+            out.extend_from_slice(&e.bytes);
+            out.extend_from_slice(payload);
+            return;
+        }
+        self.misses += 1;
+        compress_into(hdr, src_l2, dst_l2, payload, out);
+        let header_len = out.len() - payload.len();
+        if self.entries.len() >= IPHC_CACHE_CAP {
+            self.entries.remove(0);
+        }
+        self.entries.push(CacheEntry {
+            src_l2,
+            dst_l2,
+            hdr: *hdr,
+            bytes: out[..header_len].to_vec(),
+        });
+    }
 }
 
 /// Size in bytes of the compressed IPv6(+NHC) header that [`compress`]
@@ -503,6 +639,63 @@ mod tests {
         assert!(decompress(&[], NodeId(1), NodeId(2)).is_none());
         assert!(decompress(&[0x00, 0x00], NodeId(1), NodeId(2)).is_none());
         assert!(decompress(&[0x61], NodeId(1), NodeId(2)).is_none());
+    }
+
+    #[test]
+    fn decompress_view_borrows_for_tcp() {
+        let hdr = mesh_hdr();
+        let payload = vec![0x5au8; 32];
+        let pkt = compress(&hdr, NodeId(3), NodeId(4), &payload);
+        let (back, view) = decompress_view(&pkt, NodeId(3), NodeId(4)).expect("ok");
+        assert!(matches!(view, Payload::Borrowed(_)), "TCP payload must borrow");
+        assert_eq!(view.as_slice(), &payload[..]);
+        assert_eq!(back.src, hdr.src);
+        // The wrapper agrees byte-for-byte.
+        let (h2, owned) = decompress(&pkt, NodeId(3), NodeId(4)).expect("ok");
+        assert_eq!(h2, back);
+        assert_eq!(owned, payload);
+    }
+
+    #[test]
+    fn decompress_view_owns_for_udp_nhc() {
+        let hdr = Ipv6Header::new(
+            NodeId(3).mesh_addr(),
+            NodeId(4).mesh_addr(),
+            NextHeader::Udp,
+            0,
+        );
+        let udp = lln_netip::UdpHeader::encode_datagram(hdr.src, hdr.dst, 5683, 49152, b"req");
+        let pkt = compress(&hdr, NodeId(3), NodeId(4), &udp);
+        let (_, view) = decompress_view(&pkt, NodeId(3), NodeId(4)).expect("ok");
+        assert!(matches!(view, Payload::Owned(_)), "NHC must reconstruct");
+        assert_eq!(view.as_slice(), &udp[..]);
+    }
+
+    #[test]
+    fn cache_replays_identical_bytes() {
+        let mut cache = IphcCache::new();
+        let mut out = Vec::new();
+        let hdr = mesh_hdr();
+        // Miss, then hits — all byte-identical to the uncached path,
+        // across differing payload lengths (IPHC ignores payload_len).
+        for (i, n) in [10usize, 25, 3].iter().enumerate() {
+            let payload = vec![i as u8; *n];
+            cache.compress_into(&hdr, NodeId(3), NodeId(4), &payload, &mut out);
+            assert_eq!(out, compress(&hdr, NodeId(3), NodeId(4), &payload));
+        }
+        assert_eq!(cache.stats(), (2, 1));
+        // A different flow (hop limit change) misses and still matches.
+        let mut h2 = hdr;
+        h2.hop_limit = 17;
+        cache.compress_into(&h2, NodeId(3), NodeId(4), b"zz", &mut out);
+        assert_eq!(out, compress(&h2, NodeId(3), NodeId(4), b"zz"));
+        assert_eq!(cache.stats(), (2, 2));
+        // UDP bypasses the cache entirely (NHC eats payload bytes).
+        let uh = Ipv6Header::new(hdr.src, hdr.dst, NextHeader::Udp, 0);
+        let udp = lln_netip::UdpHeader::encode_datagram(uh.src, uh.dst, 1000, 2000, b"data");
+        cache.compress_into(&uh, NodeId(3), NodeId(4), &udp, &mut out);
+        assert_eq!(out, compress(&uh, NodeId(3), NodeId(4), &udp));
+        assert_eq!(cache.stats(), (2, 2), "UDP neither hits nor fills");
     }
 
     #[test]
